@@ -1,0 +1,60 @@
+// Experiment E5 (the paper's Section V): sensitivity/specificity of each
+// tool and of the 1-out-of-2 / 2-out-of-2 adjudication schemes, with
+// Wilson 95% intervals — the analysis the paper says labelled data will
+// enable. The simulator's ground truth stands in for the labels the
+// Amadeus team was producing.
+//
+// Usage: bench_adjudication [scale]   (default 0.25)
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divscrape;
+
+  const double scale = bench::parse_scale(argc, argv, 0.25);
+  const auto out = bench::run_paper(scale);
+  const auto& r = out.results;
+
+  const auto print_row = [](const char* name,
+                            const core::ConfusionMatrix& cm) {
+    const auto sens = cm.sensitivity_ci();
+    const auto spec = cm.specificity_ci();
+    std::printf(
+        "  %-22s sens %.4f [%.4f, %.4f]   spec %.4f [%.4f, %.4f]   "
+        "FP %8llu  FN %8llu\n",
+        name, sens.point, sens.lo, sens.hi, spec.point, spec.lo, spec.hi,
+        static_cast<unsigned long long>(cm.fp),
+        static_cast<unsigned long long>(cm.fn));
+  };
+
+  std::printf("E5: adjudication schemes over {sentinel, arcane}\n");
+  print_row("sentinel (Distil role)", r.confusion(0));
+  print_row("arcane", r.confusion(1));
+  print_row("1oo2 (either alerts)", r.k_of_n_confusion(1));
+  print_row("2oo2 (both must alert)", r.k_of_n_confusion(2));
+
+  std::printf(
+      "\nshape: 1oo2 sensitivity >= max(individual): %s\n",
+      r.k_of_n_confusion(1).sensitivity() >=
+              std::max(r.confusion(0).sensitivity(),
+                       r.confusion(1).sensitivity())
+          ? "yes"
+          : "NO");
+  std::printf(
+      "shape: 2oo2 specificity >= max(individual): %s\n",
+      r.k_of_n_confusion(2).specificity() >=
+              std::max(r.confusion(0).specificity(),
+                       r.confusion(1).specificity())
+          ? "yes"
+          : "NO");
+  std::printf(
+      "interpretation: diversity buys %.2f points of sensitivity via 1oo2\n"
+      "at a false-positive cost of %llu extra alerts on benign traffic.\n",
+      100.0 * (r.k_of_n_confusion(1).sensitivity() -
+               std::max(r.confusion(0).sensitivity(),
+                        r.confusion(1).sensitivity())),
+      static_cast<unsigned long long>(r.k_of_n_confusion(1).fp -
+                                      r.k_of_n_confusion(2).fp));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared plumbing for the table benches: scale parsing, the cached
+// paper-pair experiment, and paper-vs-measured row printing.
+//
+// Every table bench accepts an optional scale argument (default 1.0 =
+// paper-sized, ~1.47M requests, a few seconds) and prints, for each row of
+// the corresponding paper table: the published count, the measured count
+// (linearly rescaled to paper scale when scale < 1 so the comparison stays
+// readable), the relative deviation, and a factor-of-two shape verdict.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/paper_reference.hpp"
+#include "core/report.hpp"
+#include "traffic/scenario.hpp"
+
+namespace divscrape::bench {
+
+/// Parses argv[1] as the scenario scale; exits on nonsense.
+inline double parse_scale(int argc, char** argv, double fallback = 1.0) {
+  if (argc < 2) return fallback;
+  const double scale = std::atof(argv[1]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "usage: %s [scale in (0,1]]\n", argv[0]);
+    std::exit(1);
+  }
+  return scale;
+}
+
+/// Runs the paper deployment on the amadeus_like scenario at `scale`.
+inline core::ExperimentOutput run_paper(double scale) {
+  core::ExperimentConfig config;
+  config.scenario = traffic::amadeus_like(scale);
+  std::printf("# divscrape :: scenario=amadeus_like scale=%.3f seed=%llu\n",
+              scale,
+              static_cast<unsigned long long>(config.scenario.seed));
+  auto out = core::run_paper_experiment(config);
+  std::printf("# processed %s records in %.2fs (%.0f records/s)\n\n",
+              core::with_thousands(out.records).c_str(), out.wall_seconds,
+              out.throughput_rps());
+  return out;
+}
+
+/// Scales a measured count back up to paper scale for display.
+inline std::uint64_t rescale(std::uint64_t measured, double scale) {
+  return scale >= 1.0 ? measured
+                      : static_cast<std::uint64_t>(
+                            static_cast<double>(measured) / scale + 0.5);
+}
+
+/// One paper-vs-measured row.
+inline void add_comparison_row(core::TextTable& table, const std::string& row,
+                               std::uint64_t paper, std::uint64_t measured,
+                               double scale) {
+  const auto scaled = rescale(measured, scale);
+  table.add_row({row, core::with_thousands(paper),
+                 core::with_thousands(scaled),
+                 core::deviation(scaled, paper),
+                 core::shape_verdict(scaled, paper)});
+}
+
+inline core::TextTable comparison_table(const std::string& first_header) {
+  return core::TextTable(
+      {first_header, "paper", "measured", "dev", "shape"});
+}
+
+}  // namespace divscrape::bench

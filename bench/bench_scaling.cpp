@@ -1,0 +1,61 @@
+// Experiment E11: sharded-pipeline scaling. Runs the same scenario through
+// 1, 2, 4 and 8 shards, reports wall time and records/s, and verifies the
+// merged results are identical to the sequential run (the pipeline's
+// correctness claim, also covered by tests/pipeline_test.cpp).
+//
+// Usage: bench_scaling [scale]   (default 0.25)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "detectors/registry.hpp"
+#include "pipeline/sharded.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divscrape;
+
+  const double scale = bench::parse_scale(argc, argv, 0.25);
+  const auto scenario = traffic::amadeus_like(scale);
+  std::printf("# E11: sharded pipeline scaling, scale=%.3f\n\n", scale);
+
+  // Sequential reference.
+  core::ExperimentConfig config;
+  config.scenario = scenario;
+  const auto pool = detectors::make_paper_pair();
+  const auto reference = core::run_experiment(config, pool);
+
+  std::printf("  %-10s %10s %14s %10s %10s\n", "shards", "wall(s)",
+              "records/s", "speedup", "identical");
+  std::printf("  %-10s %10.2f %14.0f %10s %10s\n", "sequential",
+              reference.wall_seconds, reference.throughput_rps(), "1.00x",
+              "-");
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = pipeline::run_sharded(
+        scenario, [] { return detectors::make_paper_pair(); }, shards);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const auto& ref = reference.results;
+    const auto& pr = results.pair(0, 1);
+    const auto& pf = ref.pair(0, 1);
+    const bool identical = results.total_requests() == ref.total_requests() &&
+                           results.alerts(0) == ref.alerts(0) &&
+                           results.alerts(1) == ref.alerts(1) &&
+                           pr.both() == pf.both() &&
+                           pr.neither() == pf.neither() &&
+                           pr.first_only() == pf.first_only() &&
+                           pr.second_only() == pf.second_only();
+    std::printf("  %-10zu %10.2f %14.0f %9.2fx %10s\n", shards, wall,
+                static_cast<double>(results.total_requests()) / wall,
+                reference.wall_seconds / wall, identical ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nnote: the dispatcher (traffic generation) is single-threaded, so\n"
+      "speedup saturates once detector evaluation is no longer the\n"
+      "bottleneck; /24-affine partitioning guarantees result identity.\n");
+  return 0;
+}

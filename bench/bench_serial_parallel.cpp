@@ -1,0 +1,152 @@
+// Experiment E6 (the paper's Section V): parallel vs serial deployment of
+// the two tools. Parallel = both monitor all traffic (1oo2 / 2oo2 alert
+// rules). Serial = the first tool filters and the second only analyzes the
+// survivors — cheaper for the second tool, but its behavioural state then
+// evolves from a censored stream, which is why the cascade must actually
+// be executed (not derived from the parallel verdicts).
+//
+// Each topology gets fresh detector instances and its own pass over the
+// identical scenario stream.
+//
+// Usage: bench_serial_parallel [scale]   (default 0.2)
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/topology.hpp"
+#include "detectors/arcane.hpp"
+#include "detectors/sentinel.hpp"
+
+namespace {
+
+using namespace divscrape;
+
+std::unique_ptr<detectors::Detector> fresh_sentinel() {
+  return std::make_unique<detectors::SentinelDetector>();
+}
+std::unique_ptr<detectors::Detector> fresh_arcane() {
+  return std::make_unique<detectors::ArcaneDetector>();
+}
+
+struct TopologyRun {
+  std::string name;
+  core::ConfusionMatrix confusion;
+  std::uint64_t analyzer_load = 0;  ///< serial only; 0 for parallel
+  std::uint64_t total = 0;
+  double wall_seconds = 0.0;
+};
+
+TopologyRun run_topology(const traffic::ScenarioConfig& scenario,
+                         std::unique_ptr<detectors::Detector> deployment,
+                         std::uint64_t* analyzer_load_out = nullptr) {
+  TopologyRun run;
+  run.name = deployment->name();
+  traffic::Scenario source(scenario);
+  httplog::LogRecord record;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (source.next(record)) {
+    const auto v = deployment->evaluate(record);
+    run.confusion.observe(record.truth, v.alert);
+    ++run.total;
+  }
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (analyzer_load_out) run.analyzer_load = *analyzer_load_out;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.2);
+  const auto scenario = traffic::amadeus_like(scale);
+  std::printf("# E6: parallel vs serial deployment, scale=%.3f\n\n", scale);
+
+  std::vector<TopologyRun> runs;
+
+  {  // parallel 1oo2
+    std::vector<std::unique_ptr<detectors::Detector>> pool;
+    pool.push_back(fresh_sentinel());
+    pool.push_back(fresh_arcane());
+    runs.push_back(run_topology(
+        scenario,
+        std::make_unique<core::ParallelDeployment>(std::move(pool), 1)));
+  }
+  {  // parallel 2oo2
+    std::vector<std::unique_ptr<detectors::Detector>> pool;
+    pool.push_back(fresh_sentinel());
+    pool.push_back(fresh_arcane());
+    runs.push_back(run_topology(
+        scenario,
+        std::make_unique<core::ParallelDeployment>(std::move(pool), 2)));
+  }
+  {  // serial sentinel -> arcane
+    auto cascade = std::make_unique<core::SerialDeployment>(fresh_sentinel(),
+                                                            fresh_arcane());
+    auto* raw = cascade.get();
+    traffic::Scenario source(scenario);
+    httplog::LogRecord record;
+    TopologyRun run;
+    run.name = raw->name();
+    const auto t0 = std::chrono::steady_clock::now();
+    while (source.next(record)) {
+      const auto v = cascade->evaluate(record);
+      run.confusion.observe(record.truth, v.alert);
+      ++run.total;
+    }
+    run.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    run.analyzer_load = raw->analyzer_load();
+    runs.push_back(std::move(run));
+  }
+  {  // serial arcane -> sentinel
+    auto cascade = std::make_unique<core::SerialDeployment>(fresh_arcane(),
+                                                            fresh_sentinel());
+    auto* raw = cascade.get();
+    traffic::Scenario source(scenario);
+    httplog::LogRecord record;
+    TopologyRun run;
+    run.name = raw->name();
+    const auto t0 = std::chrono::steady_clock::now();
+    while (source.next(record)) {
+      const auto v = cascade->evaluate(record);
+      run.confusion.observe(record.truth, v.alert);
+      ++run.total;
+    }
+    run.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    run.analyzer_load = raw->analyzer_load();
+    runs.push_back(std::move(run));
+  }
+
+  std::printf(
+      "  %-28s %10s %10s %12s %14s %8s\n", "topology", "sens", "spec",
+      "alerts", "2nd-stage load", "wall(s)");
+  for (const auto& run : runs) {
+    const double load_fraction =
+        run.total == 0 ? 0.0
+                       : static_cast<double>(run.analyzer_load) /
+                             static_cast<double>(run.total);
+    std::printf("  %-28s %10.4f %10.4f %12llu %13.1f%% %8.2f\n",
+                run.name.c_str(), run.confusion.sensitivity(),
+                run.confusion.specificity(),
+                static_cast<unsigned long long>(run.confusion.tp +
+                                                run.confusion.fp),
+                run.analyzer_load == 0 && run.name.find("serial") != 0
+                    ? 100.0
+                    : 100.0 * load_fraction,
+                run.wall_seconds);
+  }
+
+  std::printf(
+      "\ninterpretation: the sentinel->arcane cascade cuts the in-house\n"
+      "tool's load to a fraction of the stream while keeping 1oo2-like\n"
+      "sensitivity; the reverse order filters less because arcane alerts\n"
+      "on slightly fewer requests. Parallel 2oo2 maximizes specificity.\n");
+  return 0;
+}

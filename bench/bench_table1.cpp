@@ -1,0 +1,36 @@
+// Regenerates the paper's Table 1: total HTTP requests and the number of
+// requests alerted by each tool (Distil role = Sentinel, Arcane = Arcane).
+//
+//   Table 1 - HTTP requests alerted by the two tools
+//   Total HTTP requests                              1,469,744
+//   HTTP request alerted as malicious by Distil      1,275,056
+//   HTTP request alerted as malicious by Arcane      1,240,713
+//
+// Usage: bench_table1 [scale]     (default 1.0 = paper-sized)
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divscrape;
+  namespace paper = core::paper;
+
+  const double scale = bench::parse_scale(argc, argv);
+  const auto out = bench::run_paper(scale);
+  const auto& r = out.results;
+
+  std::printf("Table 1 - HTTP requests alerted by the two tools\n");
+  auto table = bench::comparison_table("row");
+  bench::add_comparison_row(table, "Total HTTP requests",
+                            paper::kTotalRequests, r.total_requests(), scale);
+  bench::add_comparison_row(table, "alerted by Distil-role (sentinel)",
+                            paper::kDistilAlerts, r.alerts(0), scale);
+  bench::add_comparison_row(table, "alerted by Arcane (arcane)",
+                            paper::kArcaneAlerts, r.alerts(1), scale);
+  table.print(std::cout);
+
+  std::printf(
+      "\nshape: Distil-role alerts most (paper: yes; measured: %s)\n",
+      r.alerts(0) > r.alerts(1) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "core/adjudication.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace divscrape::core {
+
+WeightedVote::WeightedVote(std::vector<double> weights, double threshold)
+    : weights_(std::move(weights)),
+      threshold_(threshold),
+      weight_sum_(std::accumulate(weights_.begin(), weights_.end(), 0.0)) {
+  if (weights_.empty())
+    throw std::invalid_argument("WeightedVote: empty weights");
+  for (const double w : weights_) {
+    if (w < 0.0)
+      throw std::invalid_argument("WeightedVote: negative weight");
+  }
+  if (weight_sum_ <= 0.0)
+    throw std::invalid_argument("WeightedVote: zero total weight");
+}
+
+WeightedVote WeightedVote::k_of_n(std::size_t n, std::size_t k) {
+  if (n == 0 || k == 0 || k > n)
+    throw std::invalid_argument("WeightedVote::k_of_n: need 1 <= k <= n");
+  return WeightedVote(std::vector<double>(n, 1.0),
+                      static_cast<double>(k));
+}
+
+bool WeightedVote::decide(
+    std::span<const detectors::Verdict> verdicts) const {
+  double sum = 0.0;
+  const std::size_t n = std::min(weights_.size(), verdicts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (verdicts[i].alert) sum += weights_[i];
+  }
+  return sum >= threshold_ - 1e-12;
+}
+
+double WeightedVote::soft_score(
+    std::span<const detectors::Verdict> verdicts) const {
+  double sum = 0.0;
+  const std::size_t n = std::min(weights_.size(), verdicts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += weights_[i] * verdicts[i].score;
+  }
+  return sum / weight_sum_;
+}
+
+std::vector<double> accuracy_weights(
+    std::span<const ConfusionMatrix> matrices) {
+  std::vector<double> weights;
+  weights.reserve(matrices.size());
+  for (const auto& cm : matrices) {
+    const double balanced =
+        0.5 * (cm.sensitivity() + cm.specificity());
+    // Log-odds, clamped: chance (0.5) -> 0, perfection capped to avoid
+    // one tool drowning the vote.
+    const double clamped = std::min(0.995, std::max(0.5, balanced));
+    weights.push_back(std::log(clamped / (1.0 - clamped)));
+  }
+  return weights;
+}
+
+AdjudicationSweep::AdjudicationSweep(std::vector<Policy> policies)
+    : policies_(std::move(policies)), confusions_(policies_.size()) {
+  if (policies_.empty())
+    throw std::invalid_argument("AdjudicationSweep: no policies");
+}
+
+void AdjudicationSweep::observe(
+    httplog::Truth truth, std::span<const detectors::Verdict> verdicts) {
+  for (std::size_t p = 0; p < policies_.size(); ++p) {
+    confusions_[p].observe(truth, policies_[p].vote.decide(verdicts));
+  }
+}
+
+}  // namespace divscrape::core

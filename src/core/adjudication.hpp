@@ -1,0 +1,78 @@
+// Adjudication policies beyond plain k-out-of-N: weighted voting (tools
+// earn trust proportional to demonstrated accuracy) and score averaging.
+// These generalize the paper's 1oo2/2oo2 discussion to the full pool and
+// to operators who trust one tool more than another.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/confusion.hpp"
+#include "detectors/detector.hpp"
+
+namespace divscrape::core {
+
+/// Weighted-vote rule: alert when sum(weight_i * alert_i) >= threshold.
+/// With unit weights and threshold k this degenerates to k-out-of-N.
+class WeightedVote {
+ public:
+  WeightedVote(std::vector<double> weights, double threshold);
+
+  /// Unit-weight k-of-N convenience.
+  static WeightedVote k_of_n(std::size_t n, std::size_t k);
+
+  [[nodiscard]] bool decide(
+      std::span<const detectors::Verdict> verdicts) const;
+
+  /// Weighted mean of the verdict *scores* (soft vote), in [0, 1] when
+  /// scores are.
+  [[nodiscard]] double soft_score(
+      std::span<const detectors::Verdict> verdicts) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  std::vector<double> weights_;
+  double threshold_;
+  double weight_sum_;
+};
+
+/// Derives vote weights from per-detector confusion matrices using the
+/// log-odds of balanced accuracy — the standard weighting for combining
+/// binary experts (a tool at chance gets weight 0; better tools get
+/// monotonically more say). Negative weights (worse than chance) are
+/// clamped to 0.
+[[nodiscard]] std::vector<double> accuracy_weights(
+    std::span<const ConfusionMatrix> matrices);
+
+/// Streaming evaluation of many adjudication policies at once.
+class AdjudicationSweep {
+ public:
+  struct Policy {
+    std::string name;
+    WeightedVote vote;
+  };
+
+  explicit AdjudicationSweep(std::vector<Policy> policies);
+
+  void observe(httplog::Truth truth,
+               std::span<const detectors::Verdict> verdicts);
+
+  [[nodiscard]] const std::vector<Policy>& policies() const noexcept {
+    return policies_;
+  }
+  [[nodiscard]] const ConfusionMatrix& confusion(std::size_t policy) const {
+    return confusions_.at(policy);
+  }
+
+ private:
+  std::vector<Policy> policies_;
+  std::vector<ConfusionMatrix> confusions_;
+};
+
+}  // namespace divscrape::core

@@ -1,0 +1,40 @@
+// Confusion-matrix evaluation against ground truth — the analysis the
+// paper's Section V says labelled data will enable (sensitivity and
+// specificity per tool and per adjudication scheme).
+#pragma once
+
+#include <cstdint>
+
+#include "httplog/record.hpp"
+#include "stats/intervals.hpp"
+
+namespace divscrape::core {
+
+/// Binary confusion counts with rate accessors and Wilson intervals.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  /// Folds one (truth, alert) observation in. Unknown truth is skipped.
+  void observe(httplog::Truth truth, bool alert) noexcept;
+  void merge(const ConfusionMatrix& other) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return tp + fp + tn + fn;
+  }
+  /// Sensitivity (recall, TPR): alerted fraction of malicious requests.
+  [[nodiscard]] double sensitivity() const noexcept;
+  /// Specificity (TNR): silent fraction of benign requests.
+  [[nodiscard]] double specificity() const noexcept;
+  [[nodiscard]] double precision() const noexcept;
+  [[nodiscard]] double accuracy() const noexcept;
+  [[nodiscard]] double f1() const noexcept;
+  [[nodiscard]] double false_positive_rate() const noexcept;
+  [[nodiscard]] double false_negative_rate() const noexcept;
+
+  [[nodiscard]] stats::ProportionInterval sensitivity_ci(
+      double z = 1.96) const noexcept;
+  [[nodiscard]] stats::ProportionInterval specificity_ci(
+      double z = 1.96) const noexcept;
+};
+
+}  // namespace divscrape::core

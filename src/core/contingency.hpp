@@ -1,0 +1,70 @@
+// Pairwise alert-diversity accounting: the contingency breakdown of the
+// paper's Table 2 and the diversity metrics of the ensemble literature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/association.hpp"
+
+namespace divscrape::core {
+
+/// Which of the two tools alerted on a request (Table 2's four rows).
+enum class AlertCell : std::uint8_t {
+  kBoth,
+  kNeither,
+  kFirstOnly,   ///< in the paper's layout: "Distil only"
+  kSecondOnly,  ///< "Arcane only"
+};
+
+[[nodiscard]] std::string_view to_string(AlertCell c) noexcept;
+
+/// Streaming 2x2 contingency table over two detectors' verdicts.
+class ContingencyTable {
+ public:
+  void observe(bool first_alert, bool second_alert) noexcept;
+  void merge(const ContingencyTable& other) noexcept;
+
+  [[nodiscard]] const stats::PairedCounts& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t both() const noexcept { return counts_.both; }
+  [[nodiscard]] std::uint64_t neither() const noexcept {
+    return counts_.neither;
+  }
+  [[nodiscard]] std::uint64_t first_only() const noexcept {
+    return counts_.only_first;
+  }
+  [[nodiscard]] std::uint64_t second_only() const noexcept {
+    return counts_.only_second;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return counts_.total();
+  }
+  [[nodiscard]] std::uint64_t first_total() const noexcept {
+    return counts_.both + counts_.only_first;
+  }
+  [[nodiscard]] std::uint64_t second_total() const noexcept {
+    return counts_.both + counts_.only_second;
+  }
+
+  [[nodiscard]] static AlertCell cell(bool first_alert,
+                                      bool second_alert) noexcept;
+
+ private:
+  stats::PairedCounts counts_;
+};
+
+/// The classical pairwise diversity measures, bundled for reports.
+struct DiversityMetrics {
+  double q_statistic = 0.0;   ///< Yule's Q in [-1, 1]
+  double phi = 0.0;           ///< binary Pearson correlation
+  double disagreement = 0.0;  ///< fraction judged by exactly one tool
+  double kappa = 0.0;         ///< Cohen's kappa
+  stats::McNemarResult mcnemar;
+
+  [[nodiscard]] static DiversityMetrics from(
+      const stats::PairedCounts& counts) noexcept;
+};
+
+}  // namespace divscrape::core

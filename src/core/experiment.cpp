@@ -1,0 +1,41 @@
+#include "core/experiment.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "detectors/registry.hpp"
+
+namespace divscrape::core {
+
+ExperimentOutput run_experiment(
+    const ExperimentConfig& config,
+    const std::vector<std::unique_ptr<detectors::Detector>>& pool) {
+  for (const auto& d : pool) d->reset();
+
+  traffic::Scenario scenario(config.scenario);
+  AlertJoiner joiner(pool);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  httplog::LogRecord record;
+  std::uint64_t count = 0;
+  while (scenario.next(record)) {
+    (void)joiner.process(record);
+    ++count;
+    if (config.progress_every != 0 && count % config.progress_every == 0) {
+      std::fprintf(stderr, "  ... %llu records\n",
+                   static_cast<unsigned long long>(count));
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ExperimentOutput out{joiner.results(), count,
+                       std::chrono::duration<double>(t1 - t0).count()};
+  return out;
+}
+
+ExperimentOutput run_paper_experiment(const ExperimentConfig& config) {
+  const auto pool = detectors::make_paper_pair();
+  return run_experiment(config, pool);
+}
+
+}  // namespace divscrape::core

@@ -1,0 +1,47 @@
+// Experiment runner: the one-call entry point that generates a scenario,
+// streams it through a detector pool via the AlertJoiner, and returns the
+// accumulated JointResults. Every table bench and most examples sit on top
+// of this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/joiner.hpp"
+#include "detectors/detector.hpp"
+#include "traffic/scenario.hpp"
+
+namespace divscrape::core {
+
+/// What to run.
+struct ExperimentConfig {
+  traffic::ScenarioConfig scenario;
+  /// Print a progress line every this many records (0 = silent).
+  std::uint64_t progress_every = 0;
+};
+
+/// What happened.
+struct ExperimentOutput {
+  JointResults results;
+  std::uint64_t records = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double throughput_rps() const noexcept {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(records) / wall_seconds;
+  }
+};
+
+/// Streams the scenario through the given pool (pool order defines result
+/// indices). The pool is reset first.
+[[nodiscard]] ExperimentOutput run_experiment(
+    const ExperimentConfig& config,
+    const std::vector<std::unique_ptr<detectors::Detector>>& pool);
+
+/// Convenience: the paper deployment {Sentinel, Arcane} on the scenario.
+/// Index 0 = Sentinel (Distil role), 1 = Arcane.
+[[nodiscard]] ExperimentOutput run_paper_experiment(
+    const ExperimentConfig& config);
+
+}  // namespace divscrape::core

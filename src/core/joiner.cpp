@@ -1,0 +1,158 @@
+#include "core/joiner.hpp"
+
+#include <stdexcept>
+
+namespace divscrape::core {
+
+JointResults::JointResults(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  const std::size_t n = names_.size();
+  alert_totals_.assign(n, 0);
+  pairs_.resize(n * (n - 1) / 2);
+  fault_pairs_.resize(n * (n - 1) / 2);
+  alerted_status_.resize(n);
+  unique_status_.resize(n);
+  confusion_.resize(n);
+  adjudicated_.resize(n == 0 ? 0 : n);
+  reasons_.resize(n);
+  unique_reasons_.resize(n);
+}
+
+std::size_t JointResults::pair_index(std::size_t i, std::size_t j) const {
+  if (i >= j || j >= names_.size())
+    throw std::out_of_range("JointResults::pair: requires i < j < n");
+  // Upper-triangular row-major offset.
+  const std::size_t n = names_.size();
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+const ContingencyTable& JointResults::pair(std::size_t i,
+                                           std::size_t j) const {
+  return pairs_.at(pair_index(i, j));
+}
+
+const ContingencyTable& JointResults::fault_pair(std::size_t i,
+                                                 std::size_t j) const {
+  return fault_pairs_.at(pair_index(i, j));
+}
+
+std::uint64_t JointResults::truth_count(httplog::Truth t) const {
+  switch (t) {
+    case httplog::Truth::kBenign: return truth_benign_;
+    case httplog::Truth::kMalicious: return truth_malicious_;
+    case httplog::Truth::kUnknown:
+      return total_ - truth_benign_ - truth_malicious_;
+  }
+  return 0;
+}
+
+void JointResults::observe(const httplog::LogRecord& record,
+                           std::span<const detectors::Verdict> verdicts) {
+  const std::size_t n = names_.size();
+  ++total_;
+  if (record.truth == httplog::Truth::kBenign) ++truth_benign_;
+  if (record.truth == httplog::Truth::kMalicious) ++truth_malicious_;
+  all_status_.add(record.status);
+
+  std::size_t alert_count = 0;
+  std::size_t sole_alerter = SIZE_MAX;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!verdicts[i].alert) continue;
+    ++alert_count;
+    sole_alerter = alert_count == 1 ? i : SIZE_MAX;
+    ++alert_totals_[i];
+    alerted_status_[i].add(record.status);
+    reasons_[i].add(std::string(to_string(verdicts[i].reason)));
+    confusion_[i].observe(record.truth, true);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!verdicts[i].alert) confusion_[i].observe(record.truth, false);
+  }
+  if (alert_count == 1) {
+    unique_status_[sole_alerter].add(record.status);
+    unique_reasons_[sole_alerter].add(
+        std::string(to_string(verdicts[sole_alerter].reason)));
+  }
+  // Pairwise tables (alert agreement, and fault agreement vs truth).
+  const bool truth_known = record.truth != httplog::Truth::kUnknown;
+  const bool is_malicious = record.truth == httplog::Truth::kMalicious;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++idx) {
+      pairs_[idx].observe(verdicts[i].alert, verdicts[j].alert);
+      if (truth_known) {
+        fault_pairs_[idx].observe(verdicts[i].alert != is_malicious,
+                                  verdicts[j].alert != is_malicious);
+      }
+    }
+  }
+  // k-of-N adjudication.
+  for (std::size_t k = 1; k <= n; ++k) {
+    adjudicated_[k - 1].observe(record.truth, alert_count >= k);
+  }
+}
+
+void JointResults::merge(const JointResults& other) {
+  if (other.names_ != names_)
+    throw std::invalid_argument("JointResults::merge: pool mismatch");
+  total_ += other.total_;
+  truth_benign_ += other.truth_benign_;
+  truth_malicious_ += other.truth_malicious_;
+  all_status_.merge(other.all_status_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    alert_totals_[i] += other.alert_totals_[i];
+    alerted_status_[i].merge(other.alerted_status_[i]);
+    unique_status_[i].merge(other.unique_status_[i]);
+    confusion_[i].merge(other.confusion_[i]);
+    reasons_[i].merge(other.reasons_[i]);
+    unique_reasons_[i].merge(other.unique_reasons_[i]);
+  }
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    pairs_[p].merge(other.pairs_[p]);
+    fault_pairs_[p].merge(other.fault_pairs_[p]);
+  }
+  for (std::size_t k = 0; k < adjudicated_.size(); ++k)
+    adjudicated_[k].merge(other.adjudicated_[k]);
+}
+
+namespace {
+
+std::vector<std::string> pool_names(
+    std::span<detectors::Detector* const> pool) {
+  std::vector<std::string> names;
+  names.reserve(pool.size());
+  for (const auto* d : pool) names.emplace_back(d->name());
+  return names;
+}
+
+std::vector<detectors::Detector*> raw_pointers(
+    const std::vector<std::unique_ptr<detectors::Detector>>& pool) {
+  std::vector<detectors::Detector*> out;
+  out.reserve(pool.size());
+  for (const auto& d : pool) out.push_back(d.get());
+  return out;
+}
+
+}  // namespace
+
+AlertJoiner::AlertJoiner(std::span<detectors::Detector* const> pool)
+    : pool_(pool.begin(), pool.end()),
+      scratch_(pool_.size()),
+      results_(pool_names(pool)) {}
+
+AlertJoiner::AlertJoiner(
+    const std::vector<std::unique_ptr<detectors::Detector>>& pool)
+    : pool_(raw_pointers(pool)),
+      scratch_(pool_.size()),
+      results_(pool_names(pool_)) {}
+
+std::span<const detectors::Verdict> AlertJoiner::process(
+    const httplog::LogRecord& record) {
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    scratch_[i] = pool_[i]->evaluate(record);
+  }
+  results_.observe(record, scratch_);
+  return scratch_;
+}
+
+}  // namespace divscrape::core

@@ -1,0 +1,139 @@
+#include "core/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace divscrape::core {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (wrote_top_level_)
+      throw std::logic_error("JsonWriter: multiple top-level values");
+    wrote_top_level_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    if (!top.expecting_value)
+      throw std::logic_error("JsonWriter: value without key inside object");
+    top.expecting_value = false;
+    return;
+  }
+  // Array member.
+  if (!top.first) *os_ << ',';
+  top.first = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back({Scope::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+      stack_.back().expecting_value)
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  stack_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back({Scope::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().scope != Scope::kArray)
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  stack_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+      stack_.back().expecting_value)
+    throw std::logic_error("JsonWriter: key outside object");
+  Frame& top = stack_.back();
+  if (!top.first) *os_ << ',';
+  top.first = false;
+  top.expecting_value = true;
+  *os_ << '"' << json_escape(name) << "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  *os_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (std::isnan(number) || std::isinf(number)) {
+    *os_ << "null";  // JSON has no NaN/Inf
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", number);
+    *os_ << buf;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  *os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  *os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  *os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  *os_ << "null";
+  return *this;
+}
+
+}  // namespace divscrape::core

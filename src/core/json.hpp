@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer (no DOM, no dependencies) used by the
+// export and alert-log subsystems. Produces RFC 8259-conformant output:
+// proper string escaping, no trailing commas, stable member order (the
+// caller's call order).
+//
+// Usage:
+//   JsonWriter json(os);
+//   json.begin_object();
+//   json.key("name").value("sentinel");
+//   json.key("alerts").value(std::uint64_t{1275056});
+//   json.key("cells").begin_array();
+//   json.value(1).value(2);
+//   json.end_array();
+//   json.end_object();
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace divscrape::core {
+
+/// Escapes a string for inclusion in a JSON document (adds no quotes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Streaming writer with nesting-state tracking. Misuse (e.g. two values
+/// without a key inside an object) throws std::logic_error — catching
+/// serializer bugs at the source.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// True when every opened scope has been closed.
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && wrote_top_level_;
+  }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+
+  std::ostream* os_;
+  struct Frame {
+    Scope scope;
+    bool first = true;
+    bool expecting_value = false;  ///< object: key written, value pending
+  };
+  std::vector<Frame> stack_;
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace divscrape::core

@@ -1,0 +1,128 @@
+#include "core/labeling.hpp"
+
+#include <stdexcept>
+
+#include "httplog/useragent.hpp"
+
+namespace divscrape::core {
+
+HeuristicLabeler::HeuristicLabeler(LabelerConfig config) : config_(config) {}
+
+httplog::Truth HeuristicLabeler::judge(
+    const httplog::Session& session) const {
+  using httplog::Truth;
+  if (session.request_count() < config_.min_session_requests)
+    return Truth::kUnknown;
+
+  const auto ua = httplog::classify_user_agent(session.key().user_agent);
+  // Declared crawlers: benign by the paper's definition of "malicious".
+  if (ua.declared_bot) return Truth::kBenign;
+
+  int bot_score = 0;
+  int human_score = 0;
+
+  // Hard automation markers are decisive on their own.
+  if (ua.scripted) bot_score += config_.decision_margin + 1;
+  if (ua.family == httplog::UaFamily::kEmpty) ++bot_score;
+
+  if (session.request_rate() >= config_.bot_rate_rps) ++bot_score;
+  if (session.request_count() >= config_.bot_min_requests_for_starvation &&
+      session.asset_ratio() <= config_.bot_max_asset_ratio)
+    ++bot_score;
+  if (session.template_entropy() <= config_.bot_max_template_entropy &&
+      session.request_count() >= config_.bot_min_requests_for_starvation)
+    ++bot_score;
+  if (session.referer_ratio() <= config_.bot_max_referer_ratio) ++bot_score;
+  if (session.error_ratio() >= config_.bot_min_error_ratio) ++bot_score;
+
+  if (session.asset_ratio() >= config_.human_min_asset_ratio) ++human_score;
+  if (session.referer_ratio() >= config_.human_min_referer_ratio)
+    ++human_score;
+  if (session.template_entropy() >= config_.human_min_template_entropy)
+    ++human_score;
+  if (session.request_rate() <= config_.human_max_rate_rps) ++human_score;
+
+  if (bot_score - human_score >= config_.decision_margin)
+    return Truth::kMalicious;
+  if (human_score - bot_score >= config_.decision_margin)
+    return Truth::kBenign;
+  return Truth::kUnknown;
+}
+
+LabelingResult HeuristicLabeler::label(
+    std::vector<httplog::LogRecord>& records) const {
+  LabelingResult result;
+  result.records = records.size();
+
+  // Pass 1: sessionize (on a truth-scrubbed copy is unnecessary — the
+  // judge never reads truth) and record each session's verdict.
+  std::unordered_map<httplog::SessionKey, std::vector<httplog::Truth>,
+                     httplog::SessionKeyHash>
+      verdicts_by_client;
+  {
+    httplog::Sessionizer sessionizer(
+        config_.session_timeout_s, [&](httplog::Session&& session) {
+          verdicts_by_client[session.key()].push_back(judge(session));
+        });
+    for (const auto& r : records) sessionizer.add(r);
+    sessionizer.flush_all();
+  }
+
+  // Pass 2: replay the stream against the same session boundaries,
+  // assigning each record its session's verdict. We re-run a sessionizer
+  // emitting indices so boundaries match exactly.
+  std::unordered_map<httplog::SessionKey, std::size_t,
+                     httplog::SessionKeyHash>
+      next_session_index;
+  std::unordered_map<httplog::SessionKey, httplog::Timestamp,
+                     httplog::SessionKeyHash>
+      last_seen;
+  const auto timeout_us =
+      httplog::seconds_to_micros(config_.session_timeout_s);
+  for (auto& record : records) {
+    httplog::SessionKey key{record.ip, record.user_agent};
+    auto seen_it = last_seen.find(key);
+    if (seen_it != last_seen.end() &&
+        record.time - seen_it->second > timeout_us) {
+      ++next_session_index[key];  // session boundary crossed
+    }
+    last_seen[key] = record.time;
+
+    const auto& verdicts = verdicts_by_client[key];
+    const std::size_t idx = next_session_index[key];
+    const httplog::Truth verdict =
+        idx < verdicts.size() ? verdicts[idx] : httplog::Truth::kUnknown;
+    record.truth = verdict;
+    switch (verdict) {
+      case httplog::Truth::kMalicious: ++result.labeled_malicious; break;
+      case httplog::Truth::kBenign: ++result.labeled_benign; break;
+      case httplog::Truth::kUnknown: ++result.left_unknown; break;
+    }
+  }
+  return result;
+}
+
+LabelAudit HeuristicLabeler::audit(
+    const std::vector<httplog::Truth>& reference,
+    const std::vector<httplog::LogRecord>& labeled) {
+  if (reference.size() != labeled.size())
+    throw std::invalid_argument("LabelAudit: size mismatch");
+  LabelAudit audit;
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    const auto verdict = labeled[i].truth;
+    if (verdict == httplog::Truth::kUnknown ||
+        reference[i] == httplog::Truth::kUnknown)
+      continue;
+    ++audit.decided;
+    if (verdict == reference[i]) {
+      ++audit.agree;
+    } else if (verdict == httplog::Truth::kMalicious) {
+      ++audit.false_malicious;
+    } else {
+      ++audit.false_benign;
+    }
+  }
+  return audit;
+}
+
+}  // namespace divscrape::core

@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace divscrape::core {
+
+std::string with_thousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string as_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c];
+      if (c + 1 < row.size())
+        os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t rule = 0;
+  for (const auto w : widths) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string deviation(std::uint64_t measured, std::uint64_t paper) {
+  if (paper == 0) return "-";
+  const double rel =
+      (static_cast<double>(measured) - static_cast<double>(paper)) /
+      static_cast<double>(paper);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+std::string shape_verdict(std::uint64_t measured, std::uint64_t paper,
+                          double tolerance) {
+  if (paper == 0) return measured == 0 ? "ok" : "off";
+  if (measured == 0) return "off";
+  const double factor =
+      static_cast<double>(measured) / static_cast<double>(paper);
+  return (factor <= tolerance && factor >= 1.0 / tolerance) ? "ok" : "off";
+}
+
+}  // namespace divscrape::core

@@ -1,0 +1,116 @@
+#include "core/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace divscrape::core {
+
+TimeSeriesCollector::TimeSeriesCollector(std::size_t detector_count,
+                                         httplog::Timestamp origin,
+                                         double bucket_width_s)
+    : detector_count_(detector_count),
+      origin_(origin),
+      width_s_(bucket_width_s) {
+  if (bucket_width_s <= 0.0)
+    throw std::invalid_argument(
+        "TimeSeriesCollector: bucket width must be positive");
+}
+
+void TimeSeriesCollector::observe(
+    const httplog::LogRecord& record,
+    std::span<const detectors::Verdict> verdicts) {
+  const auto delta = record.time - origin_;
+  if (delta < 0) return;  // before the observation window
+  const auto idx = static_cast<std::size_t>(
+      static_cast<double>(delta) / 1e6 / width_s_);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1);
+    for (auto& b : buckets_) {
+      if (b.alerts.empty()) b.alerts.assign(detector_count_, 0);
+    }
+  }
+  TimeBucket& bucket = buckets_[idx];
+  if (bucket.alerts.empty()) bucket.alerts.assign(detector_count_, 0);
+  ++bucket.requests;
+  bucket.malicious += record.truth == httplog::Truth::kMalicious;
+  const std::size_t n = std::min(detector_count_, verdicts.size());
+  for (std::size_t d = 0; d < n; ++d) {
+    bucket.alerts[d] += verdicts[d].alert;
+  }
+}
+
+std::size_t TimeSeriesCollector::peak_bucket() const noexcept {
+  if (buckets_.empty()) return SIZE_MAX;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < buckets_.size(); ++i) {
+    if (buckets_[i].requests > buckets_[best].requests) best = i;
+  }
+  return best;
+}
+
+void TimeSeriesCollector::print(std::ostream& os,
+                                std::span<const std::string> names,
+                                std::size_t stride) const {
+  if (stride == 0) stride = 1;
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-22s %10s %10s", "bucket start",
+                "requests", "malicious");
+  os << line;
+  for (const auto& name : names) {
+    std::snprintf(line, sizeof line, " %12s", name.c_str());
+    os << line;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < buckets_.size(); i += stride) {
+    TimeBucket merged;
+    merged.alerts.assign(detector_count_, 0);
+    for (std::size_t j = i; j < std::min(i + stride, buckets_.size()); ++j) {
+      merged.requests += buckets_[j].requests;
+      merged.malicious += buckets_[j].malicious;
+      for (std::size_t d = 0;
+           d < detector_count_ && d < buckets_[j].alerts.size(); ++d)
+        merged.alerts[d] += buckets_[j].alerts[d];
+    }
+    const auto start =
+        origin_ + static_cast<std::int64_t>(static_cast<double>(i) *
+                                            width_s_ * 1e6);
+    std::snprintf(line, sizeof line, "  %-22s %10llu %10llu",
+                  start.to_iso8601().c_str(),
+                  static_cast<unsigned long long>(merged.requests),
+                  static_cast<unsigned long long>(merged.malicious));
+    os << line;
+    for (std::size_t d = 0; d < detector_count_; ++d) {
+      const double rate =
+          merged.requests == 0
+              ? 0.0
+              : static_cast<double>(merged.alerts[d]) /
+                    static_cast<double>(merged.requests);
+      std::snprintf(line, sizeof line, " %11.1f%%", rate * 100.0);
+      os << line;
+    }
+    os << '\n';
+  }
+}
+
+void TimeSeriesCollector::export_csv(
+    std::ostream& os, std::span<const std::string> names) const {
+  os << "bucket_start,requests,malicious";
+  for (const auto& name : names) os << ',' << name;
+  os << '\n';
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto start =
+        origin_ + static_cast<std::int64_t>(static_cast<double>(i) *
+                                            width_s_ * 1e6);
+    os << start.to_iso8601() << ',' << buckets_[i].requests << ','
+       << buckets_[i].malicious;
+    for (std::size_t d = 0; d < detector_count_; ++d) {
+      os << ','
+         << (d < buckets_[i].alerts.size() ? buckets_[i].alerts[d] : 0);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace divscrape::core

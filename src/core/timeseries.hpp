@@ -1,0 +1,60 @@
+// Time-series view of a joint run: per-bucket (default hourly) request
+// and alert counts per detector, plus truth composition. This is the
+// "figure" layer a longer version of the paper would plot — alert-rate
+// curves over the 8 observed days, diurnal structure, campaign bursts.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "detectors/detector.hpp"
+#include "httplog/record.hpp"
+
+namespace divscrape::core {
+
+/// One time bucket's aggregates.
+struct TimeBucket {
+  std::uint64_t requests = 0;
+  std::uint64_t malicious = 0;  ///< ground-truth malicious requests
+  std::vector<std::uint64_t> alerts;  ///< per detector, pool order
+};
+
+/// Streaming collector: bucket index = (t - origin) / width.
+class TimeSeriesCollector {
+ public:
+  /// `origin` is bucket 0's start; `bucket_width_s` > 0.
+  TimeSeriesCollector(std::size_t detector_count, httplog::Timestamp origin,
+                      double bucket_width_s = 3600.0);
+
+  void observe(const httplog::LogRecord& record,
+               std::span<const detectors::Verdict> verdicts);
+
+  [[nodiscard]] const std::vector<TimeBucket>& buckets() const noexcept {
+    return buckets_;
+  }
+  [[nodiscard]] httplog::Timestamp origin() const noexcept { return origin_; }
+  [[nodiscard]] double bucket_width_s() const noexcept { return width_s_; }
+
+  /// Index of the bucket with the most requests; SIZE_MAX when empty.
+  [[nodiscard]] std::size_t peak_bucket() const noexcept;
+
+  /// Renders an ASCII sparkline-style table: one row per bucket with
+  /// request volume and per-detector alert rates. `stride` merges display
+  /// rows (e.g. 24 = daily rows over hourly buckets).
+  void print(std::ostream& os, std::span<const std::string> names,
+             std::size_t stride = 1) const;
+
+  /// CSV long form: bucket_start_iso,requests,malicious,<name> columns.
+  void export_csv(std::ostream& os,
+                  std::span<const std::string> names) const;
+
+ private:
+  std::size_t detector_count_;
+  httplog::Timestamp origin_;
+  double width_s_;
+  std::vector<TimeBucket> buckets_;
+};
+
+}  // namespace divscrape::core

@@ -1,0 +1,149 @@
+#include "detectors/arcane.hpp"
+
+#include <algorithm>
+
+#include "httplog/url.hpp"
+#include "httplog/useragent.hpp"
+
+namespace divscrape::detectors {
+
+using httplog::Timestamp;
+
+namespace {
+
+std::uint32_t fnv1a(std::string_view text) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+ArcaneDetector::ArcaneDetector(ArcaneConfig config) : config_(config) {}
+
+void ArcaneDetector::reset() {
+  clients_.clear();
+  evaluations_ = 0;
+}
+
+void ArcaneDetector::prune(ClientState& state, Timestamp now) {
+  const auto cutoff =
+      now + (-httplog::seconds_to_micros(config_.window_s));
+  while (!state.window.empty() && state.window.front().time < cutoff) {
+    const Entry& e = state.window.front();
+    state.assets -= e.asset;
+    state.referers -= e.referer;
+    state.errors_4xx -= e.error_4xx;
+    state.no_content -= e.no_content;
+    state.not_modified -= e.not_modified;
+    auto it = state.templates.find(e.template_hash);
+    if (it != state.templates.end() && --it->second == 0)
+      state.templates.erase(it);
+    state.window.pop_front();
+  }
+}
+
+void ArcaneDetector::maybe_sweep(Timestamp now) {
+  // Drop clients idle for over an hour; their window is empty anyway.
+  if (++evaluations_ % 100'000 != 0) return;
+  const auto cutoff = now + (-httplog::seconds_to_micros(3600.0));
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    it = it->second.last_seen < cutoff ? clients_.erase(it) : std::next(it);
+  }
+}
+
+Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {
+  const Timestamp now = record.time;
+  maybe_sweep(now);
+
+  auto& state = clients_[httplog::SessionKey{
+      record.ip, record.user_agent}];
+  state.last_seen = now;
+  if (!state.ua_classified) {
+    const auto ua = httplog::classify_user_agent(record.user_agent);
+    state.scripted = ua.scripted;
+    state.declared_bot = ua.declared_bot;
+    state.browser = ua.family == httplog::UaFamily::kBrowser;
+    state.ua_classified = true;
+  }
+
+  prune(state, now);
+
+  Entry entry;
+  entry.time = now;
+  const auto path = record.path();
+  entry.template_hash = fnv1a(httplog::path_template(path));
+  entry.asset = httplog::is_static_asset(path);
+  entry.referer = record.referer != "-" && !record.referer.empty();
+  entry.error_4xx = record.status >= 400 && record.status < 500;
+  entry.no_content = record.status == 204;
+  entry.not_modified = record.status == 304;
+
+  state.window.push_back(entry);
+  state.assets += entry.asset;
+  state.referers += entry.referer;
+  state.errors_4xx += entry.error_4xx;
+  state.no_content += entry.no_content;
+  state.not_modified += entry.not_modified;
+  ++state.templates[entry.template_hash];
+
+  const int n = static_cast<int>(state.window.size());
+  if (n < config_.min_requests) return {false, 0.0, AlertReason::kNone};
+
+  // Polite declared crawlers get a volume grace allowance.
+  if (state.declared_bot && n < config_.declared_bot_grace)
+    return {false, 0.0, AlertReason::kNone};
+
+  const double nd = static_cast<double>(n);
+  double score = 0.0;
+  AlertReason dominant = AlertReason::kBehavioral;
+  double dominant_weight = 0.0;
+
+  const auto add_signal = [&](bool active, double weight, AlertReason why) {
+    if (!active) return;
+    score += weight;
+    if (weight > dominant_weight) {
+      dominant_weight = weight;
+      dominant = why;
+    }
+  };
+
+  const int pages = n - state.assets;
+  add_signal(pages >= 10 && state.assets == 0, config_.w_asset_starvation,
+             AlertReason::kBehavioral);
+  add_signal(state.scripted, config_.w_scripted_ua,
+             AlertReason::kBadUserAgent);
+  add_signal(static_cast<int>(state.templates.size()) <=
+                 config_.template_monotony_max,
+             config_.w_template_monotony, AlertReason::kBehavioral);
+  add_signal(static_cast<double>(state.referers) / nd <
+                 config_.referer_ratio_max,
+             config_.w_no_referer, AlertReason::kBehavioral);
+  add_signal(static_cast<double>(state.errors_4xx) / nd >=
+                 config_.error_ratio_min,
+             config_.w_error_ratio, AlertReason::kProtocolAnomaly);
+  add_signal(static_cast<double>(state.no_content) / nd >=
+                 config_.no_content_ratio_min,
+             config_.w_no_content_ratio, AlertReason::kApiAbuse);
+  add_signal(static_cast<double>(state.not_modified) / nd >=
+                 config_.not_modified_ratio_min,
+             config_.w_not_modified_ratio, AlertReason::kCacheSweep);
+  if (n >= config_.volume_extreme) {
+    add_signal(true, config_.w_volume_extreme, AlertReason::kRateLimit);
+  } else if (n >= config_.volume_high) {
+    add_signal(true, config_.w_volume_high, AlertReason::kRateLimit);
+  } else if (n >= config_.volume_medium) {
+    add_signal(true, config_.w_volume_medium, AlertReason::kRateLimit);
+  }
+
+  score = std::min(1.0, score);
+  if (score >= config_.alert_threshold) {
+    return {true, score, dominant};
+  }
+  return {false, score, AlertReason::kNone};
+}
+
+}  // namespace divscrape::detectors

@@ -1,0 +1,57 @@
+#include "detectors/baselines.hpp"
+
+#include <algorithm>
+
+namespace divscrape::detectors {
+
+using httplog::Timestamp;
+
+RateLimitDetector::RateLimitDetector(Config config) : config_(config) {}
+
+void RateLimitDetector::reset() {
+  windows_.clear();
+  evaluations_ = 0;
+}
+
+Verdict RateLimitDetector::evaluate(const httplog::LogRecord& record) {
+  const Timestamp now = record.time;
+  if (++evaluations_ % 100'000 == 0) {
+    // GC idle windows.
+    const auto cutoff =
+        now + (-httplog::seconds_to_micros(config_.window_s * 10));
+    for (auto it = windows_.begin(); it != windows_.end();) {
+      it = (!it->second.empty() && it->second.back() < cutoff)
+               ? windows_.erase(it)
+               : std::next(it);
+    }
+  }
+  auto& window = windows_[record.ip];
+  window.push_back(now);
+  const auto cutoff =
+      now + (-httplog::seconds_to_micros(config_.window_s));
+  while (!window.empty() && window.front() < cutoff) window.pop_front();
+  const int n = static_cast<int>(window.size());
+  const double score =
+      std::min(1.0, static_cast<double>(n) / config_.limit);
+  if (n >= config_.limit) return {true, score, AlertReason::kRateLimit};
+  return {false, score, AlertReason::kNone};
+}
+
+TrapDetector::TrapDetector(std::string trap_prefix)
+    : trap_prefix_(std::move(trap_prefix)) {}
+
+void TrapDetector::reset() { trapped_.clear(); }
+
+Verdict TrapDetector::evaluate(const httplog::LogRecord& record) {
+  const auto path = record.path();
+  if (path.substr(0, trap_prefix_.size()) == trap_prefix_) {
+    trapped_.insert(record.ip);
+    return {true, 1.0, AlertReason::kTrap};
+  }
+  if (trapped_.contains(record.ip)) {
+    return {true, 0.9, AlertReason::kTrap};
+  }
+  return {false, 0.0, AlertReason::kNone};
+}
+
+}  // namespace divscrape::detectors

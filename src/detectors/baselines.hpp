@@ -1,0 +1,66 @@
+// Rule-based baseline detectors from the related-work space: a naive rate
+// limiter and a honeypot-trap tracker. They are deliberately weaker than
+// the two reproduced tools; the diversity experiments (E7) use them to
+// show what the pairwise diversity metrics look like across a wider pool.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "detectors/detector.hpp"
+#include "httplog/ip.hpp"
+#include "httplog/timestamp.hpp"
+
+namespace divscrape::detectors {
+
+/// Per-IP fixed-threshold rate limiter with no memory beyond its window —
+/// the classic first line of defence, and the classic thing low-and-slow
+/// scrapers walk straight past.
+class RateLimitDetector final : public Detector {
+ public:
+  struct Config {
+    double window_s = 60.0;
+    int limit = 90;
+  };
+
+  explicit RateLimitDetector(Config config);
+  RateLimitDetector() : RateLimitDetector(Config{60.0, 90}) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rate-limit";
+  }
+  [[nodiscard]] Verdict evaluate(const httplog::LogRecord& record) override;
+  void reset() override;
+
+ private:
+  Config config_;
+  std::unordered_map<httplog::Ipv4, std::deque<httplog::Timestamp>,
+                     httplog::Ipv4Hash>
+      windows_;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Honeypot-trap detector: clients that ever touch a trap path (stale
+/// catalogue URLs real users cannot reach from live navigation) stay
+/// flagged. High precision, tiny recall — a sharp diversity contrast.
+class TrapDetector final : public Detector {
+ public:
+  explicit TrapDetector(std::string trap_prefix = "/offers/old/");
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "trap";
+  }
+  [[nodiscard]] Verdict evaluate(const httplog::LogRecord& record) override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t trapped_clients() const noexcept {
+    return trapped_.size();
+  }
+
+ private:
+  std::string trap_prefix_;
+  std::unordered_set<httplog::Ipv4, httplog::Ipv4Hash> trapped_;
+};
+
+}  // namespace divscrape::detectors

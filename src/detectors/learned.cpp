@@ -1,0 +1,60 @@
+#include "detectors/learned.hpp"
+
+#include <utility>
+
+#include "ml/features.hpp"
+
+namespace divscrape::detectors {
+
+LearnedDetector::LearnedDetector(std::string name,
+                                 std::shared_ptr<const ml::Classifier> model,
+                                 Config config)
+    : name_(std::move(name)), model_(std::move(model)), config_(config) {}
+
+void LearnedDetector::reset() {
+  clients_.clear();
+  evaluations_ = 0;
+}
+
+void LearnedDetector::maybe_sweep(httplog::Timestamp now) {
+  if (++evaluations_ % 100'000 != 0) return;
+  const auto cutoff =
+      now + (-httplog::seconds_to_micros(config_.idle_reset_s * 2));
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    it = it->second.last_seen() < cutoff ? clients_.erase(it)
+                                         : std::next(it);
+  }
+}
+
+Verdict LearnedDetector::evaluate(const httplog::LogRecord& record) {
+  maybe_sweep(record.time);
+  httplog::SessionKey key{record.ip, record.user_agent};
+  auto it = clients_.find(key);
+  if (it != clients_.end()) {
+    const double gap_s =
+        static_cast<double>(record.time - it->second.last_seen()) / 1e6;
+    if (gap_s > config_.idle_reset_s) {
+      clients_.erase(it);
+      it = clients_.end();
+    }
+  }
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(key, httplog::Session(key, record.time))
+             .first;
+  }
+  httplog::Session& session = it->second;
+  session.add(record);
+
+  if (session.request_count() <
+      static_cast<std::uint64_t>(config_.warmup_requests))
+    return {false, 0.0, AlertReason::kNone};
+
+  const auto features = ml::extract_features(session);
+  const double score = model_->score(features);
+  if (score >= config_.threshold)
+    return {true, score, AlertReason::kLearnedModel};
+  return {false, score, AlertReason::kNone};
+}
+
+}  // namespace divscrape::detectors

@@ -1,0 +1,57 @@
+// Learning-based detectors in the style of the paper's related work:
+// a naive-Bayes robot detector (Stassopoulou & Dikaiakos [2]) and a
+// decision-tree crawler classifier (Stevanovic et al. [1]), both operating
+// on streaming per-client session features.
+//
+// Deployment model: the classifier is trained offline on a *labelled*
+// training stream (a separately-seeded scenario), then frozen and run
+// online. Online, the detector maintains an incremental Session per client
+// (reset after 30 minutes of inactivity, mirroring the sessionizer) and
+// scores the running feature vector once a small warm-up has accrued.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "detectors/detector.hpp"
+#include "httplog/session.hpp"
+#include "ml/dataset.hpp"
+
+namespace divscrape::detectors {
+
+/// Wraps any trained ml::Classifier as a streaming detector.
+class LearnedDetector final : public Detector {
+ public:
+  struct Config {
+    double idle_reset_s = 1800.0;  ///< per-client state reset gap
+    int warmup_requests = 8;       ///< silent below this many requests
+    double threshold = 0.5;        ///< alert operating point
+  };
+
+  LearnedDetector(std::string name, std::shared_ptr<const ml::Classifier> model,
+                  Config config);
+  LearnedDetector(std::string name,
+                  std::shared_ptr<const ml::Classifier> model)
+      : LearnedDetector(std::move(name), std::move(model),
+                        Config{1800.0, 8, 0.5}) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Verdict evaluate(const httplog::LogRecord& record) override;
+  void reset() override;
+
+ private:
+  void maybe_sweep(httplog::Timestamp now);
+
+  std::string name_;
+  std::shared_ptr<const ml::Classifier> model_;
+  Config config_;
+  std::unordered_map<httplog::SessionKey, httplog::Session,
+                     httplog::SessionKeyHash>
+      clients_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace divscrape::detectors

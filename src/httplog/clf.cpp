@@ -1,0 +1,204 @@
+#include "httplog/clf.hpp"
+
+#include <charconv>
+
+namespace divscrape::httplog {
+
+namespace {
+
+// Consumes characters up to the next space; advances `pos` past the space.
+std::string_view take_token(std::string_view line, std::size_t& pos) {
+  const auto start = pos;
+  while (pos < line.size() && line[pos] != ' ') ++pos;
+  const auto token = line.substr(start, pos - start);
+  if (pos < line.size()) ++pos;  // skip the space
+  return token;
+}
+
+// Consumes a [bracketed] field. Returns nullopt when malformed.
+std::optional<std::string_view> take_bracketed(std::string_view line,
+                                               std::size_t& pos) {
+  if (pos >= line.size() || line[pos] != '[') return std::nullopt;
+  const auto close = line.find(']', pos);
+  if (close == std::string_view::npos) return std::nullopt;
+  const auto inner = line.substr(pos + 1, close - pos - 1);
+  pos = close + 1;
+  if (pos < line.size() && line[pos] == ' ') ++pos;
+  return inner;
+}
+
+// Consumes a "quoted" field honoring backslash escapes. The returned string
+// has escapes resolved. Returns nullopt when the closing quote is missing.
+std::optional<std::string> take_quoted(std::string_view line,
+                                       std::size_t& pos) {
+  if (pos >= line.size() || line[pos] != '"') return std::nullopt;
+  ++pos;
+  std::string out;
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      out += line[pos + 1];
+      pos += 2;
+      continue;
+    }
+    if (c == '"') {
+      ++pos;
+      if (pos < line.size() && line[pos] == ' ') ++pos;
+      return out;
+    }
+    out += c;
+    ++pos;
+  }
+  return std::nullopt;
+}
+
+std::string escape_quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(ClfError e) noexcept {
+  switch (e) {
+    case ClfError::kNone: return "none";
+    case ClfError::kEmptyLine: return "empty line";
+    case ClfError::kBadIp: return "bad ip";
+    case ClfError::kBadTimestamp: return "bad timestamp";
+    case ClfError::kBadRequestLine: return "bad request line";
+    case ClfError::kBadStatus: return "bad status";
+    case ClfError::kBadBytes: return "bad bytes";
+    case ClfError::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
+ClfParseResult parse_clf(std::string_view line) {
+  // Strip trailing CR/LF so Windows-edited logs parse.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.remove_suffix(1);
+  if (line.empty()) return {std::nullopt, ClfError::kEmptyLine};
+
+  LogRecord rec;
+  std::size_t pos = 0;
+
+  const auto ip_token = take_token(line, pos);
+  const auto ip = parse_ipv4(ip_token);
+  if (!ip) return {std::nullopt, ClfError::kBadIp};
+  rec.ip = *ip;
+
+  rec.ident = std::string(take_token(line, pos));
+  rec.user = std::string(take_token(line, pos));
+  if (rec.ident.empty() || rec.user.empty())
+    return {std::nullopt, ClfError::kTruncated};
+
+  const auto time_field = take_bracketed(line, pos);
+  if (!time_field) return {std::nullopt, ClfError::kBadTimestamp};
+  const auto time = parse_clf_time(*time_field);
+  if (!time) return {std::nullopt, ClfError::kBadTimestamp};
+  rec.time = *time;
+
+  auto request = take_quoted(line, pos);
+  if (!request) return {std::nullopt, ClfError::kBadRequestLine};
+  {
+    // Request line: METHOD SP TARGET SP PROTOCOL. Bots send garbage here;
+    // we keep what we can (a lone "-" is allowed, e.g. aborted TLS).
+    std::string_view r = *request;
+    const auto sp1 = r.find(' ');
+    if (sp1 == std::string_view::npos) {
+      rec.method = HttpMethod::kOther;
+      rec.target = std::string(r);
+      rec.protocol = "";
+    } else {
+      rec.method = parse_method(r.substr(0, sp1));
+      const auto sp2 = r.rfind(' ');
+      if (sp2 == sp1) {
+        rec.target = std::string(r.substr(sp1 + 1));
+        rec.protocol = "";
+      } else {
+        rec.target = std::string(r.substr(sp1 + 1, sp2 - sp1 - 1));
+        rec.protocol = std::string(r.substr(sp2 + 1));
+      }
+    }
+  }
+
+  const auto status_token = take_token(line, pos);
+  {
+    int status = 0;
+    const auto* begin = status_token.data();
+    const auto* end = begin + status_token.size();
+    const auto [next, ec] = std::from_chars(begin, end, status);
+    if (ec != std::errc{} || next != end || status < 100 || status > 599)
+      return {std::nullopt, ClfError::kBadStatus};
+    rec.status = status;
+  }
+
+  const auto bytes_token = take_token(line, pos);
+  if (bytes_token == "-") {
+    rec.bytes = 0;
+  } else {
+    std::uint64_t bytes = 0;
+    const auto* begin = bytes_token.data();
+    const auto* end = begin + bytes_token.size();
+    const auto [next, ec] = std::from_chars(begin, end, bytes);
+    if (ec != std::errc{} || next != end)
+      return {std::nullopt, ClfError::kBadBytes};
+    rec.bytes = bytes;
+  }
+
+  auto referer = take_quoted(line, pos);
+  if (!referer) return {std::nullopt, ClfError::kTruncated};
+  rec.referer = std::move(*referer);
+
+  auto ua = take_quoted(line, pos);
+  if (!ua) return {std::nullopt, ClfError::kTruncated};
+  rec.user_agent = std::move(*ua);
+
+  return {std::move(rec), ClfError::kNone};
+}
+
+std::string format_clf(const LogRecord& record) {
+  std::string out;
+  out.reserve(160);
+  out += record.ip.to_string();
+  out += ' ';
+  out += record.ident.empty() ? "-" : record.ident;
+  out += ' ';
+  out += record.user.empty() ? "-" : record.user;
+  out += " [";
+  out += record.time.to_clf();
+  out += "] \"";
+  out += to_string(record.method);
+  out += ' ';
+  out += escape_quoted(record.target);
+  if (!record.protocol.empty()) {
+    out += ' ';
+    out += record.protocol;
+  }
+  out += "\" ";
+  out += std::to_string(record.status);
+  out += ' ';
+  out += record.bytes == 0 ? "-" : std::to_string(record.bytes);
+  out += " \"";
+  out += escape_quoted(record.referer);
+  out += "\" \"";
+  out += escape_quoted(record.user_agent);
+  out += '"';
+  return out;
+}
+
+std::string_view to_string(Truth t) noexcept {
+  switch (t) {
+    case Truth::kUnknown: return "unknown";
+    case Truth::kBenign: return "benign";
+    case Truth::kMalicious: return "malicious";
+  }
+  return "?";
+}
+
+}  // namespace divscrape::httplog

@@ -1,0 +1,53 @@
+// Apache "combined" log format codec.
+//
+//   %h %l %u [%t] "%r" %>s %b "%{Referer}i" "%{User-agent}i"
+//
+// e.g.
+//   203.0.113.7 - - [11/Mar/2018:06:25:24 +0000] "GET /search?q=NCE HTTP/1.1"
+//       200 5120 "https://example.com/" "Mozilla/5.0 (...)"
+//
+// Parsing is lenient in the ways real logs require (escaped quotes inside
+// quoted fields, "-" for missing sizes, garbage request lines) but reports a
+// precise error category for every rejected line.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "httplog/record.hpp"
+
+namespace divscrape::httplog {
+
+/// Why a line failed to parse.
+enum class ClfError : std::uint8_t {
+  kNone,
+  kEmptyLine,
+  kBadIp,
+  kBadTimestamp,
+  kBadRequestLine,
+  kBadStatus,
+  kBadBytes,
+  kTruncated,
+};
+
+[[nodiscard]] std::string_view to_string(ClfError e) noexcept;
+
+/// Result of parsing one line: either a record, or the error that rejected
+/// the line.
+struct ClfParseResult {
+  std::optional<LogRecord> record;
+  ClfError error = ClfError::kNone;
+
+  [[nodiscard]] bool ok() const noexcept { return record.has_value(); }
+};
+
+/// Parses one combined-log-format line (no trailing newline required).
+[[nodiscard]] ClfParseResult parse_clf(std::string_view line);
+
+/// Formats a record as one combined-log-format line (no trailing newline).
+/// Quotes inside quoted fields are backslash-escaped; `bytes == 0` is
+/// written as "-" per Apache convention for %b.
+[[nodiscard]] std::string format_clf(const LogRecord& record);
+
+}  // namespace divscrape::httplog

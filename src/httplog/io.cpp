@@ -1,0 +1,33 @@
+#include "httplog/io.hpp"
+
+namespace divscrape::httplog {
+
+bool LogReader::next(LogRecord& out) {
+  while (std::getline(*in_, line_)) {
+    ++lines_;
+    auto result = parse_clf(line_);
+    if (result.ok()) {
+      out = std::move(*result.record);
+      return true;
+    }
+    ++skipped_;
+    const auto idx = static_cast<std::size_t>(result.error);
+    if (idx < skip_counts_.size()) ++skip_counts_[idx];
+  }
+  return false;
+}
+
+void LogWriter::write(const LogRecord& record) {
+  *out_ << format_clf(record) << '\n';
+  ++written_;
+}
+
+std::vector<LogRecord> read_all(std::istream& in) {
+  std::vector<LogRecord> records;
+  LogReader reader(in);
+  LogRecord rec;
+  while (reader.next(rec)) records.push_back(std::move(rec));
+  return records;
+}
+
+}  // namespace divscrape::httplog

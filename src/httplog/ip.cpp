@@ -1,0 +1,36 @@
+#include "httplog/ip.hpp"
+
+#include <charconv>
+
+namespace divscrape::httplog {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xff);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4> parse_ipv4(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* ptr = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned part = 0;
+    const auto [next, ec] = std::from_chars(ptr, end, part);
+    if (ec != std::errc{} || next == ptr || part > 255) return std::nullopt;
+    value = (value << 8) | part;
+    ptr = next;
+    if (octet < 3) {
+      if (ptr == end || *ptr != '.') return std::nullopt;
+      ++ptr;
+    }
+  }
+  if (ptr != end) return std::nullopt;
+  return Ipv4{value};
+}
+
+}  // namespace divscrape::httplog

@@ -1,0 +1,58 @@
+// IPv4 addresses as a value type. The commercial-style detector reasons
+// about subnets (/24 escalation), so addresses are stored numerically.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace divscrape::httplog {
+
+/// IPv4 address stored as a host-order 32-bit integer.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  /// Builds a.b.c.d from its octets.
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+
+  /// Network prefix of the given length (0..32); e.g. prefix(24) zeroes the
+  /// last octet. Used as a subnet key.
+  [[nodiscard]] constexpr Ipv4 prefix(int bits) const noexcept {
+    if (bits <= 0) return Ipv4{0};
+    if (bits >= 32) return *this;
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - bits);
+    return Ipv4{value_ & mask};
+  }
+
+  /// Dotted-quad "a.b.c.d".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Parses dotted-quad notation; nullopt on malformed input (wrong octet
+/// count, out-of-range octets, stray characters).
+[[nodiscard]] std::optional<Ipv4> parse_ipv4(std::string_view text) noexcept;
+
+/// Hash functor so Ipv4 works in unordered containers.
+struct Ipv4Hash {
+  [[nodiscard]] std::size_t operator()(Ipv4 ip) const noexcept {
+    // Fibonacci hashing spreads sequential addresses (botnet ranges) well.
+    return static_cast<std::size_t>(ip.value() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace divscrape::httplog

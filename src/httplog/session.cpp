@@ -1,0 +1,143 @@
+#include "httplog/session.hpp"
+
+#include <algorithm>
+
+namespace divscrape::httplog {
+
+Session::Session(SessionKey key, Timestamp first_seen)
+    : key_(std::move(key)), first_(first_seen), last_(first_seen) {}
+
+void Session::add(const LogRecord& record) {
+  if (count_ > 0) {
+    const double gap_s =
+        static_cast<double>(record.time - last_) / 1e6;
+    interarrival_.add(gap_s < 0.0 ? 0.0 : gap_s);
+  }
+  ++count_;
+  last_ = std::max(last_, record.time);
+  const auto path = record.path();
+  if (is_static_asset(path)) ++assets_;
+  if (record.referer != "-" && !record.referer.empty()) ++with_referer_;
+  if (record.status >= 400 && record.status < 500) ++errors_4xx_;
+  if (record.method == HttpMethod::kHead) ++heads_;
+  if (path == "/robots.txt") robots_ = true;
+  templates_.add(path_template(path));
+  paths_.add(std::string(path));
+  status_.add(record.status);
+  if (record.truth == Truth::kMalicious)
+    ++malicious_;
+  else if (record.truth == Truth::kBenign)
+    ++benign_;
+}
+
+double Session::duration_s() const noexcept {
+  return static_cast<double>(last_ - first_) / 1e6;
+}
+
+double Session::request_rate() const noexcept {
+  const double d = duration_s();
+  if (d <= 0.0) return static_cast<double>(count_);
+  return static_cast<double>(count_) / d;
+}
+
+double Session::asset_ratio() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(assets_) /
+                           static_cast<double>(count_);
+}
+
+double Session::referer_ratio() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(with_referer_) /
+                           static_cast<double>(count_);
+}
+
+double Session::error_ratio() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(errors_4xx_) /
+                           static_cast<double>(count_);
+}
+
+double Session::head_ratio() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(heads_) /
+                           static_cast<double>(count_);
+}
+
+double Session::template_entropy() const noexcept {
+  return stats::shannon_entropy(templates_);
+}
+
+std::size_t Session::distinct_paths() const noexcept {
+  return paths_.distinct();
+}
+
+Truth Session::majority_truth() const noexcept {
+  if (malicious_ == 0 && benign_ == 0) return Truth::kUnknown;
+  return malicious_ >= benign_ ? Truth::kMalicious : Truth::kBenign;
+}
+
+Sessionizer::Sessionizer(double idle_timeout_s, Sink sink)
+    : idle_timeout_s_(idle_timeout_s), sink_(std::move(sink)) {}
+
+void Sessionizer::add(const LogRecord& record) {
+  // Periodic sweep: expiring on every record would be O(n * sessions), so
+  // sweep at most once per timeout interval of simulated time.
+  const auto timeout_us = seconds_to_micros(idle_timeout_s_);
+  if (record.time - last_sweep_ > timeout_us) {
+    expire_older_than(Timestamp{record.time.micros() - timeout_us});
+    last_sweep_ = record.time;
+  }
+
+  SessionKey key{record.ip, record.user_agent};
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    const double gap_s =
+        static_cast<double>(record.time - it->second.last_seen()) / 1e6;
+    if (gap_s > idle_timeout_s_) {
+      Session done = std::move(it->second);
+      open_.erase(it);
+      ++completed_;
+      if (sink_) sink_(std::move(done));
+      it = open_.end();
+    }
+  }
+  if (it == open_.end()) {
+    Session fresh(key, record.time);
+    it = open_.emplace(std::move(key), std::move(fresh)).first;
+  }
+  it->second.add(record);
+}
+
+void Sessionizer::expire_older_than(Timestamp cutoff) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->second.last_seen() < cutoff) {
+      Session done = std::move(it->second);
+      it = open_.erase(it);
+      ++completed_;
+      if (sink_) sink_(std::move(done));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Sessionizer::flush_all() {
+  for (auto& [key, session] : open_) {
+    ++completed_;
+    if (sink_) sink_(std::move(session));
+  }
+  open_.clear();
+}
+
+std::vector<Session> sessionize(const std::vector<LogRecord>& records,
+                                double idle_timeout_s) {
+  std::vector<Session> out;
+  Sessionizer sessionizer(idle_timeout_s,
+                          [&out](Session&& s) { out.push_back(std::move(s)); });
+  for (const auto& r : records) sessionizer.add(r);
+  sessionizer.flush_all();
+  return out;
+}
+
+}  // namespace divscrape::httplog

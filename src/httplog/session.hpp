@@ -1,0 +1,138 @@
+// Sessionization: grouping a request stream into client sessions.
+//
+// A session is keyed by (client IP, User-Agent) — the only identity present
+// in access logs — and is closed after an inactivity timeout (default 30
+// minutes, the standard web-analytics convention). Sessions carry the
+// aggregate features the learning-based detectors and the behavioural
+// analysis consume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "httplog/ip.hpp"
+#include "httplog/record.hpp"
+#include "httplog/url.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+
+namespace divscrape::httplog {
+
+/// Session identity: (ip, user-agent).
+struct SessionKey {
+  Ipv4 ip;
+  std::string user_agent;
+
+  friend bool operator==(const SessionKey&, const SessionKey&) = default;
+};
+
+struct SessionKeyHash {
+  [[nodiscard]] std::size_t operator()(const SessionKey& k) const noexcept {
+    return Ipv4Hash{}(k.ip) ^ (std::hash<std::string>{}(k.user_agent) << 1);
+  }
+};
+
+/// Aggregate view of one client session.
+class Session {
+ public:
+  explicit Session(SessionKey key, Timestamp first_seen);
+
+  /// Folds one record into the aggregates. Records are expected in time
+  /// order (the sessionizer guarantees it).
+  void add(const LogRecord& record);
+
+  [[nodiscard]] const SessionKey& key() const noexcept { return key_; }
+  [[nodiscard]] std::uint64_t request_count() const noexcept { return count_; }
+  [[nodiscard]] Timestamp first_seen() const noexcept { return first_; }
+  [[nodiscard]] Timestamp last_seen() const noexcept { return last_; }
+  /// Session duration in seconds (0 for single-request sessions).
+  [[nodiscard]] double duration_s() const noexcept;
+  /// Mean requests per second over the session (count / duration); count
+  /// when duration is 0.
+  [[nodiscard]] double request_rate() const noexcept;
+  /// Inter-arrival statistics (seconds).
+  [[nodiscard]] const stats::RunningStats& interarrival() const noexcept {
+    return interarrival_;
+  }
+  /// Fraction of requests that fetched static assets (css/js/images).
+  [[nodiscard]] double asset_ratio() const noexcept;
+  /// Fraction of requests carrying a non-"-" Referer.
+  [[nodiscard]] double referer_ratio() const noexcept;
+  /// Fraction of 4xx responses.
+  [[nodiscard]] double error_ratio() const noexcept;
+  /// Fraction of HEAD requests.
+  [[nodiscard]] double head_ratio() const noexcept;
+  /// Shannon entropy (bits) over normalized path templates; low entropy
+  /// with high volume is the catalogue-sweep signature.
+  [[nodiscard]] double template_entropy() const noexcept;
+  /// Distinct concrete paths visited.
+  [[nodiscard]] std::size_t distinct_paths() const noexcept;
+  /// Whether the session ever fetched /robots.txt.
+  [[nodiscard]] bool fetched_robots() const noexcept { return robots_; }
+  /// Per-status counts.
+  [[nodiscard]] const stats::Counter<int>& status_counts() const noexcept {
+    return status_;
+  }
+  /// Majority truth of member records (simulation metadata).
+  [[nodiscard]] Truth majority_truth() const noexcept;
+
+ private:
+  SessionKey key_;
+  std::uint64_t count_ = 0;
+  Timestamp first_;
+  Timestamp last_;
+  stats::RunningStats interarrival_;
+  std::uint64_t assets_ = 0;
+  std::uint64_t with_referer_ = 0;
+  std::uint64_t errors_4xx_ = 0;
+  std::uint64_t heads_ = 0;
+  bool robots_ = false;
+  stats::Counter<std::string> templates_;
+  stats::Counter<std::string> paths_;
+  stats::Counter<int> status_;
+  std::uint64_t malicious_ = 0;
+  std::uint64_t benign_ = 0;
+};
+
+/// Streaming sessionizer. Feed records in global time order; completed
+/// sessions (closed by inactivity or by flush_all) are handed to the sink.
+class Sessionizer {
+ public:
+  using Sink = std::function<void(Session&&)>;
+
+  /// `idle_timeout_s`: inactivity gap that closes a session.
+  explicit Sessionizer(double idle_timeout_s = 1800.0, Sink sink = {});
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Feeds one record; may emit zero or more completed sessions first.
+  void add(const LogRecord& record);
+
+  /// Closes and emits every open session (end of stream).
+  void flush_all();
+
+  [[nodiscard]] std::size_t open_sessions() const noexcept {
+    return open_.size();
+  }
+  [[nodiscard]] std::uint64_t completed_sessions() const noexcept {
+    return completed_;
+  }
+
+ private:
+  void expire_older_than(Timestamp cutoff);
+
+  double idle_timeout_s_;
+  Sink sink_;
+  std::unordered_map<SessionKey, Session, SessionKeyHash> open_;
+  std::uint64_t completed_ = 0;
+  Timestamp last_sweep_;
+};
+
+/// Convenience: sessionize a whole in-memory stream and return all sessions.
+[[nodiscard]] std::vector<Session> sessionize(
+    const std::vector<LogRecord>& records, double idle_timeout_s = 1800.0);
+
+}  // namespace divscrape::httplog

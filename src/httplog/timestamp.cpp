@@ -1,0 +1,139 @@
+#include "httplog/timestamp.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace divscrape::httplog {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Howard Hinnant's days-from-civil: days since 1970-01-01 for a proleptic
+// Gregorian date.
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return static_cast<std::int64_t>(era) * 146097 +
+         static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since epoch.
+constexpr void civil_from_days(std::int64_t z, int& y, int& m,
+                               int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+bool parse_fixed_int(std::string_view text, std::size_t pos, std::size_t len,
+                     int& out) noexcept {
+  if (pos + len > text.size()) return false;
+  const char* begin = text.data() + pos;
+  const auto [next, ec] = std::from_chars(begin, begin + len, out);
+  return ec == std::errc{} && next == begin + len;
+}
+
+}  // namespace
+
+Timestamp Timestamp::from_civil(int year, int month, int day, int hour,
+                                int minute, int second,
+                                int microsecond) noexcept {
+  const std::int64_t days = days_from_civil(year, month, day);
+  return Timestamp{days * kMicrosPerDay + hour * kMicrosPerHour +
+                   minute * kMicrosPerMinute + second * kMicrosPerSecond +
+                   microsecond};
+}
+
+std::string Timestamp::to_clf() const {
+  std::int64_t days = micros_ / kMicrosPerDay;
+  std::int64_t rem = micros_ % kMicrosPerDay;
+  if (rem < 0) {
+    rem += kMicrosPerDay;
+    --days;
+  }
+  int y = 0, m = 0, d = 0;
+  civil_from_days(days, y, m, d);
+  const int hour = static_cast<int>(rem / kMicrosPerHour);
+  const int minute = static_cast<int>((rem / kMicrosPerMinute) % 60);
+  const int second = static_cast<int>((rem / kMicrosPerSecond) % 60);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%02d/%s/%04d:%02d:%02d:%02d +0000", d,
+                std::string(kMonths[static_cast<std::size_t>(m - 1)]).c_str(),
+                y, hour, minute, second);
+  return buf;
+}
+
+std::string Timestamp::to_iso8601() const {
+  std::int64_t days = micros_ / kMicrosPerDay;
+  std::int64_t rem = micros_ % kMicrosPerDay;
+  if (rem < 0) {
+    rem += kMicrosPerDay;
+    --days;
+  }
+  int y = 0, m = 0, d = 0;
+  civil_from_days(days, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ", y, m, d,
+                static_cast<int>(rem / kMicrosPerHour),
+                static_cast<int>((rem / kMicrosPerMinute) % 60),
+                static_cast<int>((rem / kMicrosPerSecond) % 60));
+  return buf;
+}
+
+std::optional<Timestamp> parse_clf_time(std::string_view text) noexcept {
+  // Layout: dd/Mon/yyyy:HH:MM:SS +ZZZZ  (26 chars)
+  if (text.size() < 26) return std::nullopt;
+  int day = 0, year = 0, hour = 0, minute = 0, second = 0;
+  if (!parse_fixed_int(text, 0, 2, day) || text[2] != '/') return std::nullopt;
+  int month = 0;
+  const std::string_view mon = text.substr(3, 3);
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (kMonths[i] == mon) {
+      month = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  if (month == 0 || text[6] != '/') return std::nullopt;
+  if (!parse_fixed_int(text, 7, 4, year) || text[11] != ':')
+    return std::nullopt;
+  if (!parse_fixed_int(text, 12, 2, hour) || text[14] != ':')
+    return std::nullopt;
+  if (!parse_fixed_int(text, 15, 2, minute) || text[17] != ':')
+    return std::nullopt;
+  if (!parse_fixed_int(text, 18, 2, second) || text[20] != ' ')
+    return std::nullopt;
+  const char sign = text[21];
+  if (sign != '+' && sign != '-') return std::nullopt;
+  int tz_hour = 0, tz_min = 0;
+  if (!parse_fixed_int(text, 22, 2, tz_hour) ||
+      !parse_fixed_int(text, 24, 2, tz_min))
+    return std::nullopt;
+  if (day < 1 || day > 31 || hour > 23 || minute > 59 || second > 60)
+    return std::nullopt;
+
+  Timestamp local =
+      Timestamp::from_civil(year, month, day, hour, minute, second);
+  const std::int64_t offset =
+      (tz_hour * kMicrosPerHour + tz_min * kMicrosPerMinute) *
+      (sign == '+' ? 1 : -1);
+  return Timestamp{local.micros() - offset};
+}
+
+}  // namespace divscrape::httplog

@@ -1,0 +1,74 @@
+// Timestamps in Apache common-log time format.
+//
+// Stored as microseconds since the Unix epoch (UTC). Parsing/formatting of
+// the CLF representation "[11/Mar/2018:06:25:24 +0000]" is implemented
+// directly (days-from-civil) so behaviour does not depend on the host's
+// timezone database.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace divscrape::httplog {
+
+/// Microsecond-resolution instant. Value type; arithmetic is on the
+/// underlying microsecond count.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(std::int64_t micros) noexcept
+      : micros_(micros) {}
+
+  /// Builds a UTC civil time. Month is 1..12, day 1..31; no validation of
+  /// impossible dates beyond what the caller provides being in-range.
+  static Timestamp from_civil(int year, int month, int day, int hour = 0,
+                              int minute = 0, int second = 0,
+                              int microsecond = 0) noexcept;
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept {
+    return micros_;
+  }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  /// CLF representation without brackets: "11/Mar/2018:06:25:24 +0000".
+  /// Always renders UTC.
+  [[nodiscard]] std::string to_clf() const;
+
+  /// ISO-8601 "2018-03-11T06:25:24Z" (second resolution), for reports.
+  [[nodiscard]] std::string to_iso8601() const;
+
+  friend constexpr auto operator<=>(Timestamp, Timestamp) noexcept = default;
+
+  constexpr Timestamp operator+(std::int64_t delta_micros) const noexcept {
+    return Timestamp{micros_ + delta_micros};
+  }
+  constexpr std::int64_t operator-(Timestamp other) const noexcept {
+    return micros_ - other.micros_;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// One million microseconds; helper for readable durations.
+inline constexpr std::int64_t kMicrosPerSecond = 1'000'000;
+inline constexpr std::int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr std::int64_t kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr std::int64_t kMicrosPerDay = 24 * kMicrosPerHour;
+
+[[nodiscard]] constexpr std::int64_t seconds_to_micros(double s) noexcept {
+  return static_cast<std::int64_t>(s * 1e6);
+}
+
+/// Parses the CLF time "11/Mar/2018:06:25:24 +0000" (no brackets). Honors
+/// the numeric timezone offset by converting to UTC. nullopt on malformed
+/// input.
+[[nodiscard]] std::optional<Timestamp> parse_clf_time(
+    std::string_view text) noexcept;
+
+}  // namespace divscrape::httplog

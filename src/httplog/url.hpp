@@ -1,0 +1,61 @@
+// Request-target parsing: path/query splitting, query parameters, and the
+// path taxonomy features the behavioural detector consumes (static asset vs
+// dynamic page, path depth, template extraction).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace divscrape::httplog {
+
+/// A parsed origin-form request target ("/path/to/x?a=1&b=2").
+struct Url {
+  std::string path;   ///< path component, never empty for valid targets ("/")
+  std::string query;  ///< raw query string without '?', possibly empty
+
+  [[nodiscard]] bool has_query() const noexcept { return !query.empty(); }
+};
+
+/// Splits a request target into path and query. Accepts any non-empty target
+/// starting with '/'; nullopt otherwise (e.g. absolute-form proxy requests
+/// or garbage).
+[[nodiscard]] std::optional<Url> parse_url(std::string_view target);
+
+/// Decodes %XX escapes and '+' (as space). Invalid escapes pass through
+/// verbatim, matching lenient server behaviour.
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+/// One key=value query parameter (decoded).
+struct QueryParam {
+  std::string key;
+  std::string value;
+};
+
+/// Splits a raw query string on '&' into decoded key/value pairs; a bare
+/// token without '=' becomes {token, ""}.
+[[nodiscard]] std::vector<QueryParam> parse_query(std::string_view query);
+
+/// Returns the value of `key` in the query string, if present.
+[[nodiscard]] std::optional<std::string> query_value(std::string_view query,
+                                                     std::string_view key);
+
+/// '/'-separated non-empty path segments of a path ("/a/b/" -> {"a","b"}).
+[[nodiscard]] std::vector<std::string> path_segments(std::string_view path);
+
+/// Lowercased extension of the final segment, without the dot; empty when
+/// none ("/a/app.min.js" -> "js").
+[[nodiscard]] std::string path_extension(std::string_view path);
+
+/// True for typical embedded-resource extensions (css/js/images/fonts).
+/// Humans using browsers fetch many of these per page; scrapers mostly
+/// don't — a key behavioural signal.
+[[nodiscard]] bool is_static_asset(std::string_view path) noexcept;
+
+/// A normalized "template" of the path: numeric segments are replaced by
+/// "{n}" so that /offer/123 and /offer/987 collapse to /offer/{n}. Scrapers
+/// sweeping a catalogue produce very low template entropy.
+[[nodiscard]] std::string path_template(std::string_view path);
+
+}  // namespace divscrape::httplog

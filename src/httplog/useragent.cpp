@@ -1,0 +1,114 @@
+#include "httplog/useragent.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+
+namespace divscrape::httplog {
+
+namespace {
+
+bool contains_icase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  const auto it = std::search(
+      haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+      [](char a, char b) {
+        return std::tolower(static_cast<unsigned char>(a)) ==
+               std::tolower(static_cast<unsigned char>(b));
+      });
+  return it != haystack.end();
+}
+
+// Extracts the integer right after "token/" (e.g. "Chrome/64.0" -> 64).
+int version_after(std::string_view ua, std::string_view token) {
+  const auto pos = ua.find(token);
+  if (pos == std::string_view::npos) return 0;
+  const char* begin = ua.data() + pos + token.size();
+  const char* end = ua.data() + ua.size();
+  int value = 0;
+  const auto [next, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc{} && next != begin ? value : 0;
+}
+
+constexpr std::array<std::string_view, 8> kDeclaredBots = {
+    "Googlebot", "bingbot",    "Slurp",        "DuckDuckBot",
+    "Baiduspider", "YandexBot", "AhrefsBot",   "UptimeRobot"};
+
+constexpr std::array<std::string_view, 9> kScriptMarkers = {
+    "curl/",      "python-requests", "Python-urllib", "Scrapy",
+    "Go-http-client", "Java/",       "okhttp",        "libwww-perl",
+    "Wget"};
+
+constexpr std::array<std::string_view, 3> kHeadlessMarkers = {
+    "HeadlessChrome", "PhantomJS", "SlimerJS"};
+
+}  // namespace
+
+std::string_view to_string(UaFamily f) noexcept {
+  switch (f) {
+    case UaFamily::kBrowser: return "browser";
+    case UaFamily::kDeclaredBot: return "declared-bot";
+    case UaFamily::kScriptClient: return "script-client";
+    case UaFamily::kHeadless: return "headless";
+    case UaFamily::kEmpty: return "empty";
+    case UaFamily::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+UserAgentInfo classify_user_agent(std::string_view ua) {
+  UserAgentInfo info;
+  if (ua.empty() || ua == "-") {
+    info.family = UaFamily::kEmpty;
+    return info;
+  }
+  for (const auto marker : kHeadlessMarkers) {
+    if (contains_icase(ua, marker)) {
+      info.family = UaFamily::kHeadless;
+      info.scripted = true;
+      info.browser_major = version_after(ua, "HeadlessChrome/");
+      return info;
+    }
+  }
+  for (const auto bot : kDeclaredBots) {
+    if (contains_icase(ua, bot)) {
+      info.family = UaFamily::kDeclaredBot;
+      info.declared_bot = true;
+      return info;
+    }
+  }
+  // Generic self-declared crawlers ("FooBot/1.2", "...spider...").
+  if (contains_icase(ua, "bot") || contains_icase(ua, "spider") ||
+      contains_icase(ua, "crawler")) {
+    info.family = UaFamily::kDeclaredBot;
+    info.declared_bot = true;
+    return info;
+  }
+  for (const auto marker : kScriptMarkers) {
+    if (contains_icase(ua, marker)) {
+      info.family = UaFamily::kScriptClient;
+      info.scripted = true;
+      return info;
+    }
+  }
+  if (ua.find("Mozilla/") != std::string_view::npos) {
+    info.family = UaFamily::kBrowser;
+    if (const int v = version_after(ua, "Chrome/"); v > 0) {
+      info.browser_major = v;
+      info.stale_fingerprint = v < 50;
+    } else if (const int fx = version_after(ua, "Firefox/"); fx > 0) {
+      info.browser_major = fx;
+      info.stale_fingerprint = fx < 50;
+    } else if (const int sf = version_after(ua, "Version/"); sf > 0) {
+      info.browser_major = sf;  // Safari style; current in its own line
+    } else if (const int msie = version_after(ua, "MSIE "); msie > 0) {
+      info.browser_major = msie;
+      info.stale_fingerprint = true;
+    }
+    return info;
+  }
+  return info;
+}
+
+}  // namespace divscrape::httplog

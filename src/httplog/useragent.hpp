@@ -1,0 +1,49 @@
+// User-Agent taxonomy.
+//
+// Access logs carry the client's self-declared User-Agent string. It is
+// untrusted (scrapers spoof browser UAs), but it still carries signal:
+// declared crawlers identify themselves, automation frameworks leak default
+// UAs, and stale browser versions correlate with headless farms. Both
+// detectors use this header differently — part of where their diversity
+// comes from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace divscrape::httplog {
+
+/// Broad client family derived from the UA string.
+enum class UaFamily : std::uint8_t {
+  kBrowser,       ///< mainstream browser signature
+  kDeclaredBot,   ///< self-identifying crawler (Googlebot, bingbot, ...)
+  kScriptClient,  ///< automation/script default (curl, python-requests, ...)
+  kHeadless,      ///< headless browser markers (HeadlessChrome, PhantomJS)
+  kEmpty,         ///< missing UA ("-")
+  kUnknown,       ///< none of the above
+};
+
+[[nodiscard]] std::string_view to_string(UaFamily f) noexcept;
+
+/// Parsed facts about a UA string.
+struct UserAgentInfo {
+  UaFamily family = UaFamily::kUnknown;
+  /// Major browser version if a browser token was recognized (0 otherwise);
+  /// used for the "ancient browser" heuristic.
+  int browser_major = 0;
+  /// Self-declared crawler identity claims to respect robots.txt.
+  bool declared_bot = false;
+  /// Browser token is an out-of-support vintage (Chrome/Firefox < 50, any
+  /// MSIE) — the weak fingerprint signal headless farms leak. Modern Safari
+  /// version tokens (Version/11) are NOT stale.
+  bool stale_fingerprint = false;
+  /// UA contains explicit automation markers.
+  bool scripted = false;
+};
+
+/// Classifies a raw User-Agent string. Never fails; unknown strings come
+/// back as kUnknown.
+[[nodiscard]] UserAgentInfo classify_user_agent(std::string_view ua);
+
+}  // namespace divscrape::httplog

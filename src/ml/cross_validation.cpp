@@ -1,0 +1,63 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace divscrape::ml {
+
+CrossValidationResult cross_validate(const Dataset& data,
+                                     const TrainFn& train, std::size_t k,
+                                     stats::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("cross_validate: k must be >= 2");
+  if (data.size() < k)
+    throw std::invalid_argument("cross_validate: fewer samples than folds");
+  if (!train) throw std::invalid_argument("cross_validate: null trainer");
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    Dataset train_set(data.feature_names());
+    Dataset test_set(data.feature_names());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const auto& sample = data[order[i]];
+      if (i % k == fold) {
+        test_set.add(sample.features, sample.label);
+      } else {
+        train_set.add(sample.features, sample.label);
+      }
+    }
+    // A fold whose training partition is single-class cannot train every
+    // model family; skip it (can only happen on tiny/degenerate data).
+    if (train_set.positives() == 0 ||
+        train_set.positives() == train_set.size())
+      continue;
+
+    const auto model = train(train_set);
+    MetricsAccumulator acc;
+    std::vector<double> scores;
+    std::vector<int> labels;
+    scores.reserve(test_set.size());
+    labels.reserve(test_set.size());
+    for (const auto& sample : test_set.samples()) {
+      acc.add(sample.label, model->predict(sample.features));
+      scores.push_back(model->score(sample.features));
+      labels.push_back(sample.label);
+    }
+    result.folds.push_back(acc.metrics());
+    result.accuracy.add(acc.metrics().accuracy());
+    result.sensitivity.add(acc.metrics().sensitivity());
+    result.specificity.add(acc.metrics().specificity());
+    result.auc.add(auc(scores, labels));
+  }
+  return result;
+}
+
+}  // namespace divscrape::ml

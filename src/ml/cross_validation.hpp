@@ -1,0 +1,38 @@
+// k-fold cross-validation for the learned baseline detectors: the model-
+// selection step a practitioner runs before trusting a trained classifier
+// enough to deploy it next to the production tools.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "stats/rng.hpp"
+#include "stats/running_stats.hpp"
+
+namespace divscrape::ml {
+
+/// Trains a classifier on a dataset (type-erased factory).
+using TrainFn =
+    std::function<std::unique_ptr<Classifier>(const Dataset& train)>;
+
+/// Per-fold and aggregate cross-validation outcome.
+struct CrossValidationResult {
+  std::vector<ClassifierMetrics> folds;
+  stats::RunningStats accuracy;
+  stats::RunningStats sensitivity;
+  stats::RunningStats specificity;
+  stats::RunningStats auc;
+};
+
+/// Runs k-fold cross-validation with a deterministic shuffle.
+/// Requires k >= 2 and data.size() >= k.
+[[nodiscard]] CrossValidationResult cross_validate(const Dataset& data,
+                                                   const TrainFn& train,
+                                                   std::size_t k,
+                                                   stats::Rng& rng);
+
+}  // namespace divscrape::ml

@@ -1,0 +1,77 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace divscrape::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void Dataset::add(std::vector<double> features, int label) {
+  if (features.size() != feature_names_.size())
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  samples_.push_back({std::move(features), label == 0 ? 0 : 1});
+}
+
+std::size_t Dataset::positives() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : samples_) n += static_cast<std::size_t>(s.label);
+  return n;
+}
+
+DatasetSplit split_dataset(const Dataset& data, double train_fraction,
+                           stats::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("split_dataset: fraction must be in (0,1)");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  DatasetSplit out{Dataset(data.feature_names()),
+                   Dataset(data.feature_names())};
+  const auto train_count = static_cast<std::size_t>(
+      std::llround(train_fraction * static_cast<double>(order.size())));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& s = data[order[i]];
+    auto& dst = i < train_count ? out.train : out.test;
+    dst.add(s.features, s.label);
+  }
+  return out;
+}
+
+void Dataset::Standardization::apply(
+    std::vector<double>& features) const noexcept {
+  for (std::size_t i = 0; i < features.size() && i < mean.size(); ++i) {
+    if (stddev[i] > 0.0) features[i] = (features[i] - mean[i]) / stddev[i];
+  }
+}
+
+Dataset::Standardization Dataset::standardization() const {
+  Standardization st;
+  const std::size_t d = feature_count();
+  st.mean.assign(d, 0.0);
+  st.stddev.assign(d, 0.0);
+  if (samples_.empty()) return st;
+  for (const auto& s : samples_) {
+    for (std::size_t i = 0; i < d; ++i) st.mean[i] += s.features[i];
+  }
+  const auto n = static_cast<double>(samples_.size());
+  for (auto& m : st.mean) m /= n;
+  for (const auto& s : samples_) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double delta = s.features[i] - st.mean[i];
+      st.stddev[i] += delta * delta;
+    }
+  }
+  for (auto& sd : st.stddev) sd = std::sqrt(sd / n);
+  return st;
+}
+
+}  // namespace divscrape::ml

@@ -1,0 +1,89 @@
+// Minimal tabular-learning substrate for the related-work baseline
+// detectors (Stassopoulou & Dikaiakos's probabilistic web-robot detector,
+// Stevanovic et al.'s feature-based crawler classifier).
+//
+// Binary classification only: label 1 = malicious/robot, 0 = benign.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace divscrape::ml {
+
+/// One labelled example.
+struct Sample {
+  std::vector<double> features;
+  int label = 0;  ///< 0 or 1
+};
+
+/// A named-column tabular dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Appends a sample; its feature count must match the schema.
+  void add(std::vector<double> features, int label);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return feature_names_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& feature_names()
+      const noexcept {
+    return feature_names_;
+  }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const noexcept {
+    return samples_[i];
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  /// Count of positive (label 1) samples.
+  [[nodiscard]] std::size_t positives() const noexcept;
+
+  /// Per-feature mean/stddev, for standardization.
+  struct Standardization {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+
+    /// Applies (x - mean) / stddev in place; stddev 0 features pass through.
+    void apply(std::vector<double>& features) const noexcept;
+  };
+  [[nodiscard]] Standardization standardization() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<Sample> samples_;
+};
+
+/// Result of a train/test split.
+struct DatasetSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Deterministic shuffled split; `train_fraction` in (0, 1).
+[[nodiscard]] DatasetSplit split_dataset(const Dataset& data,
+                                         double train_fraction,
+                                         stats::Rng& rng);
+
+/// A trained binary classifier.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  /// Probability-like score in [0, 1] that the sample is positive.
+  [[nodiscard]] virtual double score(
+      std::span<const double> features) const = 0;
+  /// Hard decision at the 0.5 operating point.
+  [[nodiscard]] int predict(std::span<const double> features) const {
+    return score(features) >= 0.5 ? 1 : 0;
+  }
+};
+
+}  // namespace divscrape::ml

@@ -1,0 +1,121 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace divscrape::ml {
+
+namespace {
+
+double gini(std::size_t pos, std::size_t total) noexcept {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::train(const Dataset& data,
+                                 const TreeParams& params) {
+  DecisionTree tree;
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (!indices.empty())
+    tree.build(data, indices, 0, indices.size(), 0, params);
+  else
+    tree.nodes_.push_back({});  // degenerate: empty training set
+  return tree;
+}
+
+std::size_t DecisionTree::build(const Dataset& data,
+                                std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end,
+                                std::size_t depth, const TreeParams& params) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t node_idx = nodes_.size();
+  nodes_.push_back({});
+
+  const std::size_t n = end - begin;
+  std::size_t pos = 0;
+  for (std::size_t i = begin; i < end; ++i)
+    pos += static_cast<std::size_t>(data[indices[i]].label);
+  nodes_[node_idx].positive_fraction =
+      n == 0 ? 0.0 : static_cast<double>(pos) / static_cast<double>(n);
+
+  const bool pure = pos == 0 || pos == n;
+  if (pure || depth >= params.max_depth || n < params.min_samples_split)
+    return node_idx;
+
+  // Exhaustive best split over all features; sort-and-scan per feature.
+  const double parent_impurity = gini(pos, n);
+  double best_gain = 1e-12;
+  std::size_t best_feature = SIZE_MAX;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> column(n);
+  for (std::size_t f = 0; f < data.feature_count(); ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& s = data[indices[begin + i]];
+      column[i] = {s.features[f], s.label};
+    }
+    std::sort(column.begin(), column.end());
+    std::size_t left_pos = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_pos += static_cast<std::size_t>(column[i].second);
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < params.min_samples_leaf ||
+          right_n < params.min_samples_leaf)
+        continue;
+      const double weighted =
+          (static_cast<double>(left_n) * gini(left_pos, left_n) +
+           static_cast<double>(right_n) * gini(pos - left_pos, right_n)) /
+          static_cast<double>(n);
+      const double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+  if (best_feature == SIZE_MAX) return node_idx;
+
+  // Partition indices by the chosen split (stable for determinism).
+  const auto mid_it = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) {
+        return data[idx].features[best_feature] <= best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_idx;
+
+  nodes_[node_idx].feature = best_feature;
+  nodes_[node_idx].threshold = best_threshold;
+  const auto left = build(data, indices, begin, mid, depth + 1, params);
+  nodes_[node_idx].left = static_cast<std::int32_t>(left);
+  const auto right = build(data, indices, mid, end, depth + 1, params);
+  nodes_[node_idx].right = static_cast<std::int32_t>(right);
+  return node_idx;
+}
+
+double DecisionTree::score(std::span<const double> features) const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[idx];
+    if (node.feature == SIZE_MAX || node.left < 0 || node.right < 0)
+      return node.positive_fraction;
+    const double x =
+        node.feature < features.size() ? features[node.feature] : 0.0;
+    idx = static_cast<std::size_t>(x <= node.threshold ? node.left
+                                                       : node.right);
+  }
+}
+
+}  // namespace divscrape::ml

@@ -1,0 +1,53 @@
+// CART-style binary decision tree — the classifier family used by
+// Stevanovic, An & Vlajic, "Feature evaluation for web crawler detection
+// with data mining techniques" (ESWA 2012), cited by the paper as [1].
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace divscrape::ml {
+
+/// Training hyperparameters for DecisionTree.
+struct TreeParams {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_split = 20;
+  std::size_t min_samples_leaf = 5;
+};
+
+/// Axis-aligned decision tree trained by recursive Gini-impurity splits.
+class DecisionTree final : public Classifier {
+ public:
+  static DecisionTree train(const Dataset& data,
+                            const TreeParams& params = TreeParams{});
+
+  [[nodiscard]] double score(std::span<const double> features) const override;
+
+  /// Number of nodes (diagnostics / tests).
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf when feature == SIZE_MAX.
+    std::size_t feature = SIZE_MAX;
+    double threshold = 0.0;
+    std::int32_t left = -1;   ///< index of the <= branch
+    std::int32_t right = -1;  ///< index of the > branch
+    double positive_fraction = 0.0;  ///< leaf posterior
+  };
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                    std::size_t begin, std::size_t end, std::size_t depth,
+                    const TreeParams& params);
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace divscrape::ml

@@ -1,0 +1,72 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+
+#include "httplog/useragent.hpp"
+
+namespace divscrape::ml {
+
+const std::vector<std::string>& session_feature_names() {
+  static const std::vector<std::string> kNames = {
+      "log_request_count",  // volume
+      "request_rate",       // requests per second
+      "interarrival_mean",  // pacing
+      "interarrival_cv",    // pacing regularity (bots are regular)
+      "asset_ratio",        // browsers pull assets
+      "referer_ratio",      // browsers carry referers
+      "error_4xx_ratio",    // broken automation
+      "head_ratio",         // HEAD probing
+      "template_entropy",   // navigation diversity
+      "distinct_path_ratio",// sweep vs revisit
+      "status_204_ratio",   // API polling
+      "status_304_ratio",   // conditional-GET sweeps
+      "ua_scripted",        // automation UA marker
+      "ua_declared_bot",    // self-declared crawler
+      "fetched_robots",     // robots.txt awareness
+      "duration_s",         // session span
+  };
+  return kNames;
+}
+
+std::vector<double> extract_features(const httplog::Session& session) {
+  const auto count = static_cast<double>(session.request_count());
+  const auto ua =
+      httplog::classify_user_agent(session.key().user_agent);
+  const auto& status = session.status_counts();
+  const double c204 = static_cast<double>(status.count(204));
+  const double c304 = static_cast<double>(status.count(304));
+  return {
+      std::log1p(count),
+      session.request_rate(),
+      session.interarrival().mean(),
+      session.interarrival().cv(),
+      session.asset_ratio(),
+      session.referer_ratio(),
+      session.error_ratio(),
+      session.head_ratio(),
+      session.template_entropy(),
+      count == 0.0
+          ? 0.0
+          : static_cast<double>(session.distinct_paths()) / count,
+      count == 0.0 ? 0.0 : c204 / count,
+      count == 0.0 ? 0.0 : c304 / count,
+      ua.scripted ? 1.0 : 0.0,
+      ua.declared_bot ? 1.0 : 0.0,
+      session.fetched_robots() ? 1.0 : 0.0,
+      session.duration_s(),
+  };
+}
+
+Dataset build_session_dataset(
+    const std::vector<httplog::Session>& sessions) {
+  Dataset data(session_feature_names());
+  for (const auto& s : sessions) {
+    const auto truth = s.majority_truth();
+    if (truth == httplog::Truth::kUnknown) continue;
+    data.add(extract_features(s),
+             truth == httplog::Truth::kMalicious ? 1 : 0);
+  }
+  return data;
+}
+
+}  // namespace divscrape::ml

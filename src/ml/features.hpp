@@ -1,0 +1,27 @@
+// Session-level feature extraction: bridges httplog::Session to the
+// tabular learners. The feature set follows the web-robot-detection
+// literature (request rate, asset and referer discipline, error ratios,
+// navigation entropy, HEAD usage, robots.txt access, UA family).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "httplog/session.hpp"
+#include "ml/dataset.hpp"
+
+namespace divscrape::ml {
+
+/// Names of the extracted features, in extraction order.
+[[nodiscard]] const std::vector<std::string>& session_feature_names();
+
+/// Extracts the numeric feature vector for one session.
+[[nodiscard]] std::vector<double> extract_features(
+    const httplog::Session& session);
+
+/// Builds a labelled dataset from sessions (label = majority truth of the
+/// session's records; sessions with unknown truth are skipped).
+[[nodiscard]] Dataset build_session_dataset(
+    const std::vector<httplog::Session>& sessions);
+
+}  // namespace divscrape::ml

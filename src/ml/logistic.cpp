@@ -1,0 +1,86 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace divscrape::ml {
+
+namespace {
+
+double sigmoid(double z) noexcept {
+  if (z > 35.0) return 1.0;
+  if (z < -35.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace
+
+LogisticRegression LogisticRegression::train(const Dataset& data,
+                                             const LogisticParams& params) {
+  LogisticRegression model;
+  const std::size_t d = data.feature_count();
+  model.weights_.assign(d, 0.0);
+  model.standardize_ = params.standardize;
+  if (params.standardize) model.standardization_ = data.standardization();
+  if (data.empty()) return model;
+
+  stats::Rng rng(params.seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> x;
+  for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    // Shuffle each epoch (Fisher-Yates).
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    std::vector<double> grad_w(d, 0.0);
+    double grad_b = 0.0;
+    std::size_t in_batch = 0;
+    const double lr = params.learning_rate /
+                      (1.0 + 0.05 * static_cast<double>(epoch));
+    for (const std::size_t idx : order) {
+      const auto& s = data[idx];
+      x = s.features;
+      if (model.standardize_) model.standardization_.apply(x);
+      double z = model.bias_;
+      for (std::size_t i = 0; i < d; ++i) z += model.weights_[i] * x[i];
+      const double err = sigmoid(z) - static_cast<double>(s.label);
+      for (std::size_t i = 0; i < d; ++i) grad_w[i] += err * x[i];
+      grad_b += err;
+      if (++in_batch == params.batch_size) {
+        const double inv = 1.0 / static_cast<double>(in_batch);
+        for (std::size_t i = 0; i < d; ++i) {
+          model.weights_[i] -=
+              lr * (grad_w[i] * inv + params.l2 * model.weights_[i]);
+          grad_w[i] = 0.0;
+        }
+        model.bias_ -= lr * grad_b * inv;
+        grad_b = 0.0;
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      const double inv = 1.0 / static_cast<double>(in_batch);
+      for (std::size_t i = 0; i < d; ++i)
+        model.weights_[i] -=
+            lr * (grad_w[i] * inv + params.l2 * model.weights_[i]);
+      model.bias_ -= lr * grad_b * inv;
+    }
+  }
+  return model;
+}
+
+double LogisticRegression::score(std::span<const double> features) const {
+  std::vector<double> x(features.begin(), features.end());
+  if (standardize_) standardization_.apply(x);
+  double z = bias_;
+  const std::size_t d = std::min(x.size(), weights_.size());
+  for (std::size_t i = 0; i < d; ++i) z += weights_[i] * x[i];
+  return sigmoid(z);
+}
+
+}  // namespace divscrape::ml

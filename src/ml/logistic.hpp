@@ -1,0 +1,44 @@
+// L2-regularized logistic regression trained by mini-batch gradient
+// descent. Third learning-based baseline; also the scoring backbone for the
+// ROC operating-point sweep (experiment E8).
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "stats/rng.hpp"
+
+namespace divscrape::ml {
+
+/// Training hyperparameters for LogisticRegression.
+struct LogisticParams {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t epochs = 60;
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 7;
+  bool standardize = true;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  static LogisticRegression train(const Dataset& data,
+                                  const LogisticParams& params = LogisticParams{});
+
+  [[nodiscard]] double score(std::span<const double> features) const override;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+
+ private:
+  LogisticRegression() = default;
+
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  Dataset::Standardization standardization_;
+  bool standardize_ = false;
+};
+
+}  // namespace divscrape::ml

@@ -1,0 +1,90 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace divscrape::ml {
+
+namespace {
+double ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double ClassifierMetrics::accuracy() const noexcept {
+  return ratio(tp + tn, total());
+}
+double ClassifierMetrics::sensitivity() const noexcept {
+  return ratio(tp, tp + fn);
+}
+double ClassifierMetrics::specificity() const noexcept {
+  return ratio(tn, tn + fp);
+}
+double ClassifierMetrics::precision() const noexcept {
+  return ratio(tp, tp + fp);
+}
+double ClassifierMetrics::f1() const noexcept {
+  const double p = precision();
+  const double r = sensitivity();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+double ClassifierMetrics::false_positive_rate() const noexcept {
+  return ratio(fp, fp + tn);
+}
+
+void MetricsAccumulator::add(int label, int prediction) noexcept {
+  if (label != 0) {
+    prediction != 0 ? ++m_.tp : ++m_.fn;
+  } else {
+    prediction != 0 ? ++m_.fp : ++m_.tn;
+  }
+}
+
+void MetricsAccumulator::merge(const MetricsAccumulator& other) noexcept {
+  m_.tp += other.m_.tp;
+  m_.fp += other.m_.fp;
+  m_.tn += other.m_.tn;
+  m_.fn += other.m_.fn;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels) {
+  const std::size_t n = std::min(scores.size(), labels.size());
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::uint64_t total_pos = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total_pos += static_cast<std::uint64_t>(labels[i] != 0);
+  const std::uint64_t total_neg = n - total_pos;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({1.0 + 1e-9, 0.0, 0.0});
+  std::uint64_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const double t = scores[order[i]];
+    // Consume all samples tied at this threshold together.
+    while (i < n && scores[order[i]] == t) {
+      labels[order[i]] != 0 ? ++tp : ++fp;
+      ++i;
+    }
+    curve.push_back({t, ratio(tp, total_pos), ratio(fp, total_neg)});
+  }
+  return curve;
+}
+
+double auc(std::span<const double> scores, std::span<const int> labels) {
+  const auto curve = roc_curve(scores, labels);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+}  // namespace divscrape::ml

@@ -1,0 +1,55 @@
+// Classifier evaluation: threshold metrics and ROC/AUC from scores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace divscrape::ml {
+
+/// Standard binary-classification counts and derived rates.
+struct ClassifierMetrics {
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return tp + fp + tn + fn;
+  }
+  [[nodiscard]] double accuracy() const noexcept;
+  /// Sensitivity / recall / TPR.
+  [[nodiscard]] double sensitivity() const noexcept;
+  /// Specificity / TNR.
+  [[nodiscard]] double specificity() const noexcept;
+  [[nodiscard]] double precision() const noexcept;
+  [[nodiscard]] double f1() const noexcept;
+  [[nodiscard]] double false_positive_rate() const noexcept;
+};
+
+/// Accumulates metrics from (label, prediction) pairs.
+class MetricsAccumulator {
+ public:
+  void add(int label, int prediction) noexcept;
+  void merge(const MetricsAccumulator& other) noexcept;
+  [[nodiscard]] const ClassifierMetrics& metrics() const noexcept {
+    return m_;
+  }
+
+ private:
+  ClassifierMetrics m_;
+};
+
+/// One ROC point.
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+/// ROC curve from scores; points are sorted by descending threshold.
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                              std::span<const int> labels);
+
+/// Area under the ROC curve via the rank statistic (handles ties).
+[[nodiscard]] double auc(std::span<const double> scores,
+                         std::span<const int> labels);
+
+}  // namespace divscrape::ml

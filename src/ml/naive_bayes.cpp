@@ -1,0 +1,67 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divscrape::ml {
+
+NaiveBayes NaiveBayes::train(const Dataset& data, double variance_floor) {
+  const std::size_t d = data.feature_count();
+  const std::size_t n = data.size();
+  const std::size_t pos = data.positives();
+  if (pos == 0 || pos == n)
+    throw std::invalid_argument("NaiveBayes::train: needs both classes");
+
+  NaiveBayes model;
+  model.prior_pos_ = static_cast<double>(pos) / static_cast<double>(n);
+  for (int c = 0; c < 2; ++c) {
+    model.mean_[c].assign(d, 0.0);
+    model.var_[c].assign(d, 0.0);
+  }
+  std::size_t counts[2] = {n - pos, pos};
+  for (const auto& s : data.samples()) {
+    auto& mean = model.mean_[s.label];
+    for (std::size_t i = 0; i < d; ++i) mean[i] += s.features[i];
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (auto& m : model.mean_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (const auto& s : data.samples()) {
+    auto& mean = model.mean_[s.label];
+    auto& var = model.var_[s.label];
+    for (std::size_t i = 0; i < d; ++i) {
+      const double delta = s.features[i] - mean[i];
+      var[i] += delta * delta;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : model.var_[c]) {
+      v = v / static_cast<double>(counts[c]);
+      if (v < variance_floor) v = variance_floor;
+    }
+  }
+  return model;
+}
+
+double NaiveBayes::score(std::span<const double> features) const {
+  // Log-likelihood ratio, converted back to a posterior via the logistic.
+  double log_odds =
+      std::log(prior_pos_) - std::log1p(-prior_pos_);
+  const std::size_t d = std::min(features.size(), mean_[0].size());
+  for (std::size_t i = 0; i < d; ++i) {
+    const double x = features[i];
+    for (int c = 0; c < 2; ++c) {
+      const double z = x - mean_[c][i];
+      const double ll =
+          -0.5 * (std::log(2.0 * 3.14159265358979 * var_[c][i]) +
+                  z * z / var_[c][i]);
+      log_odds += c == 1 ? ll : -ll;
+    }
+  }
+  // Clamp to avoid overflow in exp.
+  if (log_odds > 35.0) return 1.0;
+  if (log_odds < -35.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-log_odds));
+}
+
+}  // namespace divscrape::ml

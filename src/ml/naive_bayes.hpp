@@ -1,0 +1,35 @@
+// Gaussian naive Bayes — the classifier family behind Stassopoulou &
+// Dikaiakos, "Web robot detection: A probabilistic reasoning approach"
+// (Computer Networks 2009), which the paper cites as related work [2].
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace divscrape::ml {
+
+/// Binary Gaussian naive Bayes with per-class feature means/variances and a
+/// variance floor for numerical stability.
+class NaiveBayes final : public Classifier {
+ public:
+  /// Trains on the dataset. Throws if either class is absent.
+  static NaiveBayes train(const Dataset& data, double variance_floor = 1e-6);
+
+  [[nodiscard]] double score(std::span<const double> features) const override;
+
+  [[nodiscard]] double prior_positive() const noexcept { return prior_pos_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return mean_[0].size();
+  }
+
+ private:
+  NaiveBayes() = default;
+
+  double prior_pos_ = 0.5;
+  // Index 0 = negative class, 1 = positive class.
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+};
+
+}  // namespace divscrape::ml

@@ -1,0 +1,46 @@
+#include "pipeline/replay.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace divscrape::pipeline {
+
+ReplayEngine::ReplayEngine(
+    const std::vector<std::unique_ptr<detectors::Detector>>& pool,
+    double time_scale)
+    : joiner_(pool), time_scale_(time_scale) {}
+
+ReplayStats ReplayEngine::replay(std::istream& in) {
+  ReplayStats stats;
+  httplog::LogReader reader(in);
+  httplog::LogRecord record;
+  const auto wall0 = std::chrono::steady_clock::now();
+  bool have_origin = false;
+  httplog::Timestamp origin;
+  while (reader.next(record)) {
+    if (time_scale_ > 0.0) {
+      if (!have_origin) {
+        origin = record.time;
+        have_origin = true;
+      }
+      const double sim_elapsed =
+          static_cast<double>(record.time - origin) / 1e6;
+      const auto due =
+          wall0 + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(sim_elapsed /
+                                                    time_scale_));
+      std::this_thread::sleep_until(due);
+    }
+    (void)joiner_.process(record);
+    ++stats.parsed;
+  }
+  stats.lines = reader.lines_read();
+  stats.skipped = reader.lines_skipped();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  return stats;
+}
+
+}  // namespace divscrape::pipeline

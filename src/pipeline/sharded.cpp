@@ -1,0 +1,114 @@
+#include "pipeline/sharded.hpp"
+
+#include <stdexcept>
+
+#include "traffic/scenario.hpp"
+
+namespace divscrape::pipeline {
+
+ShardedPipeline::ShardedPipeline(PoolFactory factory, std::size_t shards,
+                                 std::size_t batch_size)
+    : batch_size_(batch_size) {
+  if (shards == 0)
+    throw std::invalid_argument("ShardedPipeline: shards must be >= 1");
+  if (!factory)
+    throw std::invalid_argument("ShardedPipeline: null factory");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->pool = factory();
+    shard->joiner = std::make_unique<core::AlertJoiner>(shard->pool);
+    shard->pending.reserve(batch_size_);
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(shards);
+  for (auto& shard : shards_) {
+    workers_.emplace_back([this, &shard] { worker_loop(*shard); });
+  }
+}
+
+ShardedPipeline::~ShardedPipeline() {
+  if (!finished_) {
+    // Abort path: wake workers so the threads can join.
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard->mutex);
+      shard->done = true;
+      shard->ready.notify_one();
+    }
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+}
+
+void ShardedPipeline::worker_loop(Shard& shard) {
+  std::vector<httplog::LogRecord> batch;
+  for (;;) {
+    {
+      std::unique_lock lock(shard.mutex);
+      shard.ready.wait(lock,
+                       [&] { return !shard.queue.empty() || shard.done; });
+      if (shard.queue.empty() && shard.done) return;
+      batch.swap(shard.queue);
+    }
+    for (const auto& record : batch) {
+      (void)shard.joiner->process(record);
+    }
+    batch.clear();
+  }
+}
+
+void ShardedPipeline::flush(Shard& shard) {
+  if (shard.pending.empty()) return;
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.queue.insert(shard.queue.end(),
+                       std::make_move_iterator(shard.pending.begin()),
+                       std::make_move_iterator(shard.pending.end()));
+  }
+  shard.ready.notify_one();
+  shard.pending.clear();
+}
+
+void ShardedPipeline::process(const httplog::LogRecord& record) {
+  if (finished_)
+    throw std::logic_error("ShardedPipeline: process() after finish()");
+  // Route by /24 so every record sharing detector state lands together.
+  const auto key = httplog::Ipv4Hash{}(record.ip.prefix(24));
+  Shard& shard = *shards_[key % shards_.size()];
+  shard.pending.push_back(record);
+  ++dispatched_;
+  if (shard.pending.size() >= batch_size_) flush(shard);
+}
+
+core::JointResults ShardedPipeline::finish() {
+  if (finished_)
+    throw std::logic_error("ShardedPipeline: finish() called twice");
+  finished_ = true;
+  for (auto& shard : shards_) {
+    flush(*shard);
+    {
+      std::lock_guard lock(shard->mutex);
+      shard->done = true;
+    }
+    shard->ready.notify_one();
+  }
+  for (auto& w : workers_) w.join();
+
+  core::JointResults merged = shards_.front()->joiner->results();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    merged.merge(shards_[s]->joiner->results());
+  }
+  return merged;
+}
+
+core::JointResults run_sharded(const traffic::ScenarioConfig& scenario_config,
+                               PoolFactory factory, std::size_t shards) {
+  traffic::Scenario scenario(scenario_config);
+  ShardedPipeline pipeline(std::move(factory), shards);
+  httplog::LogRecord record;
+  while (scenario.next(record)) pipeline.process(record);
+  return pipeline.finish();
+}
+
+}  // namespace divscrape::pipeline

@@ -1,0 +1,86 @@
+// Sharded detection pipeline: hash-partitions the request stream across N
+// worker threads, each owning a private detector-pool instance, and merges
+// the per-shard JointResults at the end.
+//
+// Correctness argument (tested in tests/pipeline_test.cpp): every detector
+// in this repository keys its state by client IP or (IP, UA), and
+// Sentinel's widest coupling is the /24 subnet. Partitioning by the /24
+// prefix therefore routes every record that could share detector state to
+// the same shard, and each shard sees its sub-stream in global time order
+// (the dispatcher is single-threaded). Hence the merged results are
+// *identical* to a sequential run — the classic "partition by the state
+// key" recipe for scaling stateful stream processors.
+//
+// Note the one caveat: JointResults' k-of-N adjudication and pairwise
+// tables are per-record joins of the same pool, so they shard cleanly too.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/joiner.hpp"
+#include "detectors/detector.hpp"
+#include "httplog/record.hpp"
+#include "traffic/scenario.hpp"
+
+namespace divscrape::pipeline {
+
+/// Creates one detector-pool instance per shard.
+using PoolFactory =
+    std::function<std::vector<std::unique_ptr<detectors::Detector>>()>;
+
+class ShardedPipeline {
+ public:
+  /// `shards` >= 1. The factory is invoked `shards` times up front.
+  ShardedPipeline(PoolFactory factory, std::size_t shards,
+                  std::size_t batch_size = 1024);
+  ~ShardedPipeline();
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// Routes one record to its shard (by /24 prefix hash). Called from one
+  /// dispatcher thread only.
+  void process(const httplog::LogRecord& record);
+
+  /// Flushes queues, joins workers, merges shard results. Must be called
+  /// exactly once; process() is illegal afterwards.
+  [[nodiscard]] core::JointResults finish();
+
+  [[nodiscard]] std::size_t shards() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::uint64_t dispatched() const noexcept {
+    return dispatched_;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::vector<httplog::LogRecord> queue;  ///< swapped out by the worker
+    bool done = false;
+    std::unique_ptr<core::AlertJoiner> joiner;
+    std::vector<std::unique_ptr<detectors::Detector>> pool;
+    std::vector<httplog::LogRecord> pending;  ///< dispatcher-side batch
+  };
+
+  void worker_loop(Shard& shard);
+  void flush(Shard& shard);
+
+  std::size_t batch_size_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::uint64_t dispatched_ = 0;
+  bool finished_ = false;
+};
+
+/// Convenience: run a whole scenario through a sharded pipeline.
+[[nodiscard]] core::JointResults run_sharded(
+    const traffic::ScenarioConfig& scenario_config, PoolFactory factory,
+    std::size_t shards);
+
+}  // namespace divscrape::pipeline

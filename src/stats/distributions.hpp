@@ -1,0 +1,93 @@
+// Heavy-tailed and categorical distributions used by the traffic simulator.
+//
+// Web workloads are famously heavy-tailed: page popularity follows a Zipf
+// law, session lengths and transfer sizes are Pareto/log-normal, and think
+// times are log-normal. These small value types wrap the sampling logic so
+// actor models read declaratively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace divscrape::stats {
+
+/// Zipf(s, n): ranks 1..n with P(k) proportional to k^-s.
+///
+/// Sampling is by inverse transform over the precomputed CDF (O(log n) per
+/// draw), which is exact and fast enough for catalogue sizes up to millions.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` >= 0 (s == 0 degenerates to uniform ranks).
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+  /// Probability mass of rank k (1-based).
+  [[nodiscard]] double pmf(std::size_t k) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+/// Pareto(x_min, alpha): classic heavy tail for burst and session sizes.
+class ParetoDistribution {
+ public:
+  /// `x_min` > 0, `alpha` > 0. Smaller alpha means a heavier tail.
+  ParetoDistribution(double x_min, double alpha) noexcept;
+
+  [[nodiscard]] double sample(Rng& rng) const noexcept;
+  [[nodiscard]] double x_min() const noexcept { return x_min_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  /// Mean, or +inf when alpha <= 1.
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  double x_min_;
+  double alpha_;
+};
+
+/// Log-normal parameterized by the *target* median and a shape sigma, which
+/// is how think-time literature usually reports it.
+class LogNormalDistribution {
+ public:
+  /// `median` > 0; `sigma` >= 0 is the stddev of the underlying normal.
+  LogNormalDistribution(double median, double sigma) noexcept;
+
+  [[nodiscard]] double sample(Rng& rng) const noexcept;
+  [[nodiscard]] double median() const noexcept;
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;  // log(median)
+  double sigma_;
+};
+
+/// Discrete distribution over arbitrary weights (an alias-free linear-CDF
+/// sampler; O(log n) per draw). Weights need not be normalized.
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+  explicit DiscreteDistribution(std::span<const double> weights);
+
+  /// Returns an index in [0, size()). Requires non-empty, positive total.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cdf_.empty(); }
+  /// Normalized probability of index i.
+  [[nodiscard]] double probability(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace divscrape::stats

@@ -1,0 +1,103 @@
+// Histograms and categorical counters used throughout the analysis layer
+// (per-status breakdowns, inter-arrival profiles, score distributions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace divscrape::stats {
+
+/// Fixed-width binned histogram over [lo, hi) with under/overflow bins.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  /// Approximate quantile (linear within the containing bin); q in [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Counter over arbitrary ordered keys (e.g. HTTP status codes). Thin map
+/// wrapper with merge support and sorted-by-count extraction for reports.
+template <typename Key>
+class Counter {
+ public:
+  void add(const Key& k, std::uint64_t n = 1) { counts_[k] += n; }
+
+  [[nodiscard]] std::uint64_t count(const Key& k) const {
+    const auto it = counts_.find(k);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+
+  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+
+  void merge(const Counter& other) {
+    for (const auto& [k, v] : other.counts_) counts_[k] += v;
+  }
+
+  /// (key, count) pairs sorted by descending count, ties by ascending key —
+  /// the order the paper's per-status tables use.
+  [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> by_count() const {
+    std::vector<std::pair<Key, std::uint64_t>> out(counts_.begin(),
+                                                   counts_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    return out;
+  }
+
+  [[nodiscard]] auto begin() const { return counts_.begin(); }
+  [[nodiscard]] auto end() const { return counts_.end(); }
+
+ private:
+  std::map<Key, std::uint64_t> counts_;
+};
+
+/// Shannon entropy (bits) of a categorical counter; 0 for empty counters.
+/// Used by the behavioural detector: human navigation has high path entropy,
+/// systematic scraping of a template URL has low entropy.
+template <typename Key>
+[[nodiscard]] double shannon_entropy(const Counter<Key>& counter) {
+  const double total = static_cast<double>(counter.total());
+  if (total == 0.0) return 0.0;
+  double h = 0.0;
+  for (const auto& [k, v] : counter) {
+    if (v == 0) continue;
+    const double p = static_cast<double>(v) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace divscrape::stats

@@ -1,0 +1,84 @@
+// Deterministic random number generation for all stochastic components.
+//
+// Every simulator/actor/detector that needs randomness takes an explicit
+// `Rng` (or a seed used to construct one), so that a scenario seed fully
+// determines the generated traffic and therefore every reproduced table.
+//
+// The generator is xoshiro256** (public-domain algorithm by Blackman and
+// Vigna): fast, 256-bit state, and — unlike std::mt19937 — its output for a
+// given seed is trivially stable across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace divscrape::stats {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be used with
+/// <random> distributions where cross-platform stability is not required;
+/// the member helpers (uniform/bernoulli/exponential/...) are stable
+/// everywhere and are what the simulator uses.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by repeated SplitMix64 steps from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)). `mu`/`sigma` are the parameters of the
+  /// underlying normal, not the resulting mean.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Geometric number of trials until first success (>= 1) for success
+  /// probability p in (0, 1].
+  std::int64_t geometric(double p) noexcept;
+
+  /// Poisson-distributed count with the given mean (> 0); Knuth's method for
+  /// small means, normal approximation above 64 to stay O(1).
+  std::int64_t poisson(double mean) noexcept;
+
+  /// Derives an independent child generator; used to give each simulated
+  /// actor its own stream so actor insertion order cannot perturb others.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// SplitMix64 step: advances `state` and returns the next output. Exposed for
+/// seed-derivation utilities (e.g. hashing an actor id into a seed).
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of two values into a well-distributed seed.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace divscrape::stats

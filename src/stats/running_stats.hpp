@@ -1,0 +1,70 @@
+// Online descriptive statistics (Welford's algorithm) and a fixed-capacity
+// sliding window used by the behavioural detector's per-session features.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace divscrape::stats {
+
+/// Numerically stable online mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the observed values; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance; 0 when fewer than 2 observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-merge identity:
+  /// merging shards equals accumulating the concatenated stream).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sliding window over the most recent `capacity` observations with O(1)
+/// amortized mean/rate queries. Used for burst-rate features where only the
+/// recent past matters.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool full() const noexcept {
+    return values_.size() == capacity_;
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Oldest retained value; 0 when empty.
+  [[nodiscard]] double front() const noexcept;
+  /// Newest value; 0 when empty.
+  [[nodiscard]] double back() const noexcept;
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace divscrape::stats

@@ -1,0 +1,23 @@
+#include "traffic/actor.hpp"
+
+namespace divscrape::traffic {
+
+std::string_view to_string(ActorClass c) noexcept {
+  switch (c) {
+    case ActorClass::kHuman: return "human";
+    case ActorClass::kSearchCrawler: return "search-crawler";
+    case ActorClass::kMonitor: return "monitor";
+    case ActorClass::kScraperAggressive: return "scraper-aggressive";
+    case ActorClass::kScraperStealth: return "scraper-stealth";
+    case ActorClass::kScraperApi: return "scraper-api";
+    case ActorClass::kScraperMalformed: return "scraper-malformed";
+    case ActorClass::kScraperCaching: return "scraper-caching";
+  }
+  return "?";
+}
+
+httplog::Truth truth_of(ActorClass c) noexcept {
+  return is_scraper(c) ? httplog::Truth::kMalicious : httplog::Truth::kBenign;
+}
+
+}  // namespace divscrape::traffic

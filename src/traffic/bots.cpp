@@ -1,0 +1,102 @@
+#include "traffic/bots.hpp"
+
+#include "traffic/ua_pool.hpp"
+
+namespace divscrape::traffic {
+
+CrawlerActor::CrawlerActor(const SiteModel& site, Config config,
+                           httplog::Ipv4 ip, std::string user_agent,
+                           stats::Rng rng, std::uint32_t actor_id)
+    : site_(&site),
+      config_(config),
+      ip_(ip),
+      ua_(std::move(user_agent)),
+      rng_(rng),
+      actor_id_(actor_id) {}
+
+StepResult CrawlerActor::step(httplog::Timestamp now,
+                              httplog::LogRecord& out) {
+  out = httplog::LogRecord{};
+  out.ip = ip_;
+  out.time = now;
+  out.user_agent = ua_;
+  out.truth = httplog::Truth::kBenign;
+  out.actor_id = actor_id_;
+  out.actor_class = static_cast<std::uint8_t>(ActorClass::kSearchCrawler);
+  out.referer = "-";
+
+  Endpoint endpoint;
+  std::size_t item = 0;
+  AccessFlags flags;
+  if (!fetched_robots_) {
+    endpoint = Endpoint::kRobots;
+    fetched_robots_ = true;
+  } else {
+    const double u = rng_.uniform();
+    if (u < 0.72) {
+      endpoint = Endpoint::kOffer;
+      item = site_->sample_popular_offer(rng_);
+      flags.conditional = rng_.bernoulli(config_.revisit_p);
+    } else if (u < 0.86) {
+      endpoint = Endpoint::kSearch;
+    } else if (u < 0.92) {
+      endpoint = Endpoint::kHome;
+    } else if (u < 0.96) {
+      endpoint = Endpoint::kHelp;
+    } else {
+      endpoint = Endpoint::kAbout;
+    }
+  }
+  out.target = site_->target(endpoint, item, rng_);
+  const Response resp = site_->respond(endpoint, flags, rng_);
+  out.status = resp.status;
+  out.bytes = resp.bytes;
+
+  StepResult result;
+  result.emitted = true;
+  const auto next =
+      now + httplog::seconds_to_micros(
+                rng_.exponential(config_.crawl_gap_mean_s));
+  if (next < config_.end_time) result.next = next;
+  return result;
+}
+
+MonitorActor::MonitorActor(const SiteModel& site, Config config,
+                           httplog::Ipv4 ip, stats::Rng rng,
+                           std::uint32_t actor_id)
+    : site_(&site),
+      config_(config),
+      ip_(ip),
+      rng_(rng),
+      actor_id_(actor_id) {}
+
+StepResult MonitorActor::step(httplog::Timestamp now,
+                              httplog::LogRecord& out) {
+  out = httplog::LogRecord{};
+  out.ip = ip_;
+  out.time = now;
+  out.user_agent = std::string(monitor_ua());
+  out.truth = httplog::Truth::kBenign;
+  out.actor_id = actor_id_;
+  out.actor_class = static_cast<std::uint8_t>(ActorClass::kMonitor);
+  out.referer = "-";
+
+  const Endpoint endpoint =
+      probe_home_next_ ? Endpoint::kHome : Endpoint::kApiAvail;
+  probe_home_next_ = !probe_home_next_;
+  out.target = site_->target(endpoint, 1, rng_);
+  const Response resp = site_->respond(endpoint, {}, rng_);
+  out.status = resp.status;
+  out.bytes = resp.bytes;
+
+  StepResult result;
+  result.emitted = true;
+  // Fixed period with small jitter, like real monitoring agents.
+  const auto next =
+      now + httplog::seconds_to_micros(config_.period_s +
+                                       rng_.uniform(-1.0, 1.0));
+  if (next < config_.end_time) result.next = next;
+  return result;
+}
+
+}  // namespace divscrape::traffic

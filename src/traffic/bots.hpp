@@ -1,0 +1,76 @@
+// Benign automation: declared search-engine crawlers and uptime monitors.
+//
+// These exist in every production log and are the reason "bot" and
+// "malicious" are not synonyms: a detector that flags all automation drowns
+// the analyst in false positives on Googlebot.
+#pragma once
+
+#include <string>
+
+#include "httplog/ip.hpp"
+#include "stats/rng.hpp"
+#include "traffic/actor.hpp"
+#include "traffic/site.hpp"
+
+namespace divscrape::traffic {
+
+/// A declared, polite search-engine crawler: fetches robots.txt first,
+/// then crawls content pages at a steady, throttled pace with conditional
+/// GETs for pages it has seen before. Runs for the whole simulation.
+class CrawlerActor final : public Actor {
+ public:
+  struct Config {
+    double crawl_gap_mean_s = 8.0;  ///< mean gap between fetches
+    double revisit_p = 0.3;         ///< conditional re-fetch of known pages
+    httplog::Timestamp end_time;    ///< stop crawling at simulation end
+  };
+
+  CrawlerActor(const SiteModel& site, Config config, httplog::Ipv4 ip,
+               std::string user_agent, stats::Rng rng,
+               std::uint32_t actor_id);
+
+  [[nodiscard]] ActorClass actor_class() const noexcept override {
+    return ActorClass::kSearchCrawler;
+  }
+
+  [[nodiscard]] StepResult step(httplog::Timestamp now,
+                                httplog::LogRecord& out) override;
+
+ private:
+  const SiteModel* site_;
+  Config config_;
+  httplog::Ipv4 ip_;
+  std::string ua_;
+  stats::Rng rng_;
+  std::uint32_t actor_id_;
+  bool fetched_robots_ = false;
+};
+
+/// An uptime monitor probing a fixed pair of endpoints on a fixed period.
+class MonitorActor final : public Actor {
+ public:
+  struct Config {
+    double period_s = 120.0;
+    httplog::Timestamp end_time;
+  };
+
+  MonitorActor(const SiteModel& site, Config config, httplog::Ipv4 ip,
+               stats::Rng rng, std::uint32_t actor_id);
+
+  [[nodiscard]] ActorClass actor_class() const noexcept override {
+    return ActorClass::kMonitor;
+  }
+
+  [[nodiscard]] StepResult step(httplog::Timestamp now,
+                                httplog::LogRecord& out) override;
+
+ private:
+  const SiteModel* site_;
+  Config config_;
+  httplog::Ipv4 ip_;
+  stats::Rng rng_;
+  std::uint32_t actor_id_;
+  bool probe_home_next_ = true;
+};
+
+}  // namespace divscrape::traffic

@@ -1,0 +1,74 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+
+namespace divscrape::traffic {
+
+TrafficGenerator::TrafficGenerator(httplog::Timestamp end_time)
+    : end_time_(end_time) {}
+
+void TrafficGenerator::push_event(Event e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+void TrafficGenerator::add_actor(std::unique_ptr<Actor> actor,
+                                 httplog::Timestamp start) {
+  if (start >= end_time_) return;
+  actors_.push_back(std::move(actor));
+  ++live_actors_;
+  push_event({start, actors_.size() - 1, SIZE_MAX});
+}
+
+void TrafficGenerator::add_arrivals(ArrivalProcess process,
+                                    httplog::Timestamp from) {
+  arrivals_.push_back(std::move(process));
+  const auto first = arrivals_.back().next_arrival(from);
+  if (first && *first < end_time_) {
+    push_event({*first, SIZE_MAX, arrivals_.size() - 1});
+  }
+}
+
+bool TrafficGenerator::next(httplog::LogRecord& out) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const Event e = heap_.back();
+    heap_.pop_back();
+
+    if (e.arrival_idx != SIZE_MAX) {
+      auto& process = arrivals_[e.arrival_idx];
+      auto actor = process.make_actor(e.time);
+      if (actor) add_actor(std::move(actor), e.time);
+      const auto next = process.next_arrival(e.time);
+      if (next && *next < end_time_) {
+        push_event({*next, SIZE_MAX, e.arrival_idx});
+      }
+      continue;
+    }
+
+    auto& actor = actors_[e.actor_idx];
+    if (!actor) continue;  // already retired (defensive)
+    const StepResult result = actor->step(e.time, out);
+    const bool emit = result.emitted && e.time < end_time_;
+    if (result.next && *result.next < end_time_) {
+      push_event({*result.next, e.actor_idx, SIZE_MAX});
+    } else {
+      actor.reset();
+      --live_actors_;
+    }
+    if (emit) {
+      ++emitted_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<httplog::LogRecord> TrafficGenerator::drain() {
+  std::vector<httplog::LogRecord> records;
+  httplog::LogRecord rec;
+  while (next(rec)) records.push_back(rec);
+  return records;
+}
+
+}  // namespace divscrape::traffic

@@ -1,0 +1,83 @@
+// The traffic generator: merges all actors' emissions into one globally
+// time-ordered record stream, exactly as concurrent clients interleave in a
+// shared access log.
+//
+// Implementation: an event min-heap over (next-step time, source). Sources
+// are either live actors or arrival processes; an arrival process fires at
+// Poisson(ish) instants and spawns a fresh actor (how human sessions come
+// and go without pre-materializing hundreds of thousands of objects).
+//
+// The generator is a pull-style stream (`next()`), so multi-million-record
+// scenarios run in bounded memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "httplog/record.hpp"
+#include "traffic/actor.hpp"
+
+namespace divscrape::traffic {
+
+/// A source of new actors over time.
+struct ArrivalProcess {
+  /// Returns the next arrival instant strictly after `now`, or nullopt when
+  /// the process is exhausted.
+  std::function<std::optional<httplog::Timestamp>(httplog::Timestamp now)>
+      next_arrival;
+  /// Creates the actor arriving at `at`.
+  std::function<std::unique_ptr<Actor>(httplog::Timestamp at)> make_actor;
+};
+
+/// Pull-based merged traffic stream.
+class TrafficGenerator {
+ public:
+  /// Records with time >= `end_time` are suppressed and their actors
+  /// retired; the stream ends when no source has pending work.
+  explicit TrafficGenerator(httplog::Timestamp end_time);
+
+  /// Registers a live actor whose first step happens at `start`.
+  void add_actor(std::unique_ptr<Actor> actor, httplog::Timestamp start);
+
+  /// Registers an arrival process; its first arrival is computed from
+  /// `from`.
+  void add_arrivals(ArrivalProcess process, httplog::Timestamp from);
+
+  /// Produces the next record in global time order; false when exhausted.
+  [[nodiscard]] bool next(httplog::LogRecord& out);
+
+  /// Drains the whole stream into a vector (tests / small scenarios only).
+  [[nodiscard]] std::vector<httplog::LogRecord> drain();
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::size_t live_actors() const noexcept {
+    return live_actors_;
+  }
+
+ private:
+  struct Event {
+    httplog::Timestamp time;
+    // Exactly one of the two below is active.
+    std::size_t actor_idx = SIZE_MAX;    ///< index into actors_
+    std::size_t arrival_idx = SIZE_MAX;  ///< index into arrivals_
+
+    // Min-heap by time: std::push_heap builds a max-heap, so invert.
+    friend bool operator<(const Event& a, const Event& b) noexcept {
+      return a.time > b.time;
+    }
+  };
+
+  void push_event(Event e);
+
+  httplog::Timestamp end_time_;
+  std::vector<std::unique_ptr<Actor>> actors_;   ///< null after retirement
+  std::vector<ArrivalProcess> arrivals_;
+  std::vector<Event> heap_;
+  std::uint64_t emitted_ = 0;
+  std::size_t live_actors_ = 0;
+};
+
+}  // namespace divscrape::traffic

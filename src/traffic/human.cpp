@@ -1,0 +1,159 @@
+#include "traffic/human.hpp"
+
+#include <algorithm>
+
+namespace divscrape::traffic {
+
+namespace {
+
+constexpr std::string_view kSiteOrigin = "https://shop.example.com";
+constexpr std::string_view kSearchEngineReferer = "https://www.google.com/";
+
+}  // namespace
+
+HumanActor::HumanActor(const SiteModel& site, const HumanConfig& config,
+                       httplog::Ipv4 ip, std::string user_agent,
+                       stats::Rng rng, std::uint32_t actor_id)
+    : site_(&site),
+      config_(config),
+      ip_(ip),
+      ua_(std::move(user_agent)),
+      rng_(rng),
+      actor_id_(actor_id) {
+  pages_left_ = static_cast<int>(
+      rng_.geometric(1.0 / std::max(1.0, config_.pages_mean)));
+  warm_cache_ = rng_.bernoulli(config_.revisit_p);
+  // Sessions land on home or directly on a search (deep link from a search
+  // engine results page).
+  next_page_ = rng_.bernoulli(0.55) ? Endpoint::kSearch : Endpoint::kHome;
+}
+
+void HumanActor::plan_page() {
+  // Funnel transition from the current page type.
+  const double u = rng_.uniform();
+  if (rng_.bernoulli(config_.dead_link_p)) {
+    next_page_ = Endpoint::kDeadLink;
+    next_item_ = static_cast<std::size_t>(rng_.uniform_int(0, 5000));
+    return;
+  }
+  switch (next_page_) {
+    case Endpoint::kHome:
+      next_page_ = u < 0.7 ? Endpoint::kSearch
+                 : u < 0.85 ? Endpoint::kHelp
+                            : Endpoint::kAbout;
+      break;
+    case Endpoint::kSearch:
+      if (u < 0.62) {
+        next_page_ = Endpoint::kOffer;
+        next_item_ = site_->sample_popular_offer(rng_);
+      } else {
+        next_page_ = Endpoint::kSearch;  // refine the query
+      }
+      break;
+    case Endpoint::kOffer:
+      if (u < config_.booking_p) {
+        next_page_ = Endpoint::kBook;  // keeps next_item_ (the offer)
+      } else if (u < 0.55) {
+        next_page_ = Endpoint::kOffer;  // compare another fare
+        next_item_ = site_->sample_popular_offer(rng_);
+      } else {
+        next_page_ = Endpoint::kSearch;
+      }
+      break;
+    case Endpoint::kBook:
+      next_page_ = Endpoint::kLogin;
+      break;
+    case Endpoint::kLogin:
+      logged_in_ = true;
+      next_page_ = Endpoint::kAccount;
+      break;
+    default:
+      next_page_ = rng_.bernoulli(0.8) ? Endpoint::kSearch : Endpoint::kHome;
+      break;
+  }
+}
+
+StepResult HumanActor::step(httplog::Timestamp now, httplog::LogRecord& out) {
+  out = httplog::LogRecord{};
+  out.ip = ip_;
+  out.time = now;
+  out.user_agent = ua_;
+  out.truth = httplog::Truth::kBenign;
+  out.actor_id = actor_id_;
+  out.actor_class = static_cast<std::uint8_t>(ActorClass::kHuman);
+
+  if (!pending_.empty()) {
+    // Asset fetch belonging to the current page.
+    const Pending p = pending_.back();
+    pending_.pop_back();
+    out.target = site_->target(p.endpoint, p.item, rng_);
+    AccessFlags flags;
+    flags.conditional = warm_cache_;
+    const Response resp = site_->respond(p.endpoint, flags, rng_);
+    out.status = resp.status;
+    out.bytes = resp.bytes;
+    out.referer = std::string(kSiteOrigin) + current_page_;
+
+    StepResult result;
+    result.emitted = true;
+    if (!pending_.empty()) {
+      result.next = now + httplog::seconds_to_micros(
+                              rng_.exponential(config_.asset_gap_s));
+    } else if (pages_left_ > 0) {
+      result.next =
+          now + httplog::seconds_to_micros(
+                    stats::LogNormalDistribution(config_.think_median_s,
+                                                 config_.think_sigma)
+                        .sample(rng_));
+    }
+    return result;
+  }
+
+  // Page view.
+  const Endpoint page = next_page_;
+  out.target = site_->target(page, next_item_, rng_);
+  AccessFlags flags;
+  flags.logged_in = logged_in_;
+  const Response resp = site_->respond(page, flags, rng_);
+  out.status = resp.status;
+  out.bytes = resp.bytes;
+  if (first_page_) {
+    out.referer = rng_.bernoulli(config_.external_referer_p)
+                      ? std::string(kSearchEngineReferer)
+                      : "-";
+    first_page_ = false;
+  } else {
+    out.referer = std::string(kSiteOrigin) + current_page_;
+  }
+  current_page_ = std::string(out.path());
+  --pages_left_;
+
+  // Queue this page's asset fetches (redirects render no assets).
+  if (resp.status == 200 && page != Endpoint::kDeadLink) {
+    const auto assets = rng_.poisson(config_.assets_per_page_mean);
+    for (std::int64_t i = 0; i < assets; ++i) {
+      pending_.push_back(
+          {Endpoint::kAsset,
+           static_cast<std::size_t>(
+               rng_.uniform_int(0, static_cast<std::int64_t>(
+                                       site_->asset_count()) -
+                                       1))});
+    }
+  }
+  plan_page();
+
+  StepResult result;
+  result.emitted = true;
+  if (!pending_.empty()) {
+    result.next = now + httplog::seconds_to_micros(
+                            rng_.exponential(config_.asset_gap_s));
+  } else if (pages_left_ > 0) {
+    result.next = now + httplog::seconds_to_micros(
+                            stats::LogNormalDistribution(
+                                config_.think_median_s, config_.think_sigma)
+                                .sample(rng_));
+  }
+  return result;
+}
+
+}  // namespace divscrape::traffic

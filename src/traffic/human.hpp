@@ -1,0 +1,75 @@
+// Interactive human visitors.
+//
+// A human session is a browser-driven page-view sequence over the site's
+// navigation funnel: land (often from a search engine), browse fare
+// searches and offer pages, occasionally enter the booking flow. Every page
+// view pulls a handful of static assets shortly after the page itself, with
+// conditional-GET 304s on repeat visits — the texture that distinguishes
+// browsers from scrapers in real logs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "httplog/ip.hpp"
+#include "stats/rng.hpp"
+#include "traffic/actor.hpp"
+#include "traffic/site.hpp"
+
+namespace divscrape::traffic {
+
+/// Tunables for the human population.
+struct HumanConfig {
+  double pages_mean = 4.0;          ///< geometric mean pages per session
+  double think_median_s = 12.0;     ///< log-normal think time between pages
+  double think_sigma = 0.9;
+  double assets_per_page_mean = 1.4;///< Poisson extra asset fetches per page
+  double asset_gap_s = 0.18;        ///< mean gap between asset fetches
+  double revisit_p = 0.35;          ///< warm-cache visitor (304s on assets)
+  double dead_link_p = 0.004;       ///< stale bookmark/typo -> 404
+  double booking_p = 0.06;          ///< sessions that enter the booking flow
+  double external_referer_p = 0.65; ///< landing referer present
+};
+
+/// One human browsing session.
+class HumanActor final : public Actor {
+ public:
+  HumanActor(const SiteModel& site, const HumanConfig& config,
+             httplog::Ipv4 ip, std::string user_agent, stats::Rng rng,
+             std::uint32_t actor_id);
+
+  [[nodiscard]] ActorClass actor_class() const noexcept override {
+    return ActorClass::kHuman;
+  }
+
+  [[nodiscard]] StepResult step(httplog::Timestamp now,
+                                httplog::LogRecord& out) override;
+
+ private:
+  /// Picks the next page in the funnel and queues its asset fetches.
+  void plan_page();
+
+  const SiteModel* site_;
+  HumanConfig config_;
+  httplog::Ipv4 ip_;
+  std::string ua_;
+  stats::Rng rng_;
+  std::uint32_t actor_id_;
+
+  int pages_left_;
+  bool warm_cache_;
+  bool logged_in_ = false;
+  bool first_page_ = true;
+  std::string current_page_;  ///< referer for asset fetches / next page
+
+  struct Pending {
+    Endpoint endpoint;
+    std::size_t item;
+  };
+  std::vector<Pending> pending_;  ///< asset fetches for the current page
+  Endpoint next_page_ = Endpoint::kHome;
+  std::size_t next_item_ = 0;
+};
+
+}  // namespace divscrape::traffic

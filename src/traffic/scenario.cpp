@@ -1,0 +1,336 @@
+#include "traffic/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traffic/ua_pool.hpp"
+
+namespace divscrape::traffic {
+
+namespace {
+
+using httplog::Ipv4;
+using httplog::Timestamp;
+using httplog::seconds_to_micros;
+using stats::Rng;
+
+/// Campaign c (0-based) owns the /16 at 45.(140+c).0.0.
+Ipv4 campaign_base(int campaign) noexcept {
+  return Ipv4(45, static_cast<std::uint8_t>(140 + campaign), 0, 0);
+}
+
+/// Fast fleet member i sits in one of the campaign's two /24s, hosts .2+.
+Ipv4 fleet_ip(int campaign, int bot) noexcept {
+  const auto base = campaign_base(campaign).value();
+  const std::uint32_t subnet = static_cast<std::uint32_t>(bot / 200);
+  const std::uint32_t host = 2 + static_cast<std::uint32_t>(bot % 200);
+  return Ipv4(base | (subnet << 8) | host);
+}
+
+/// Slow members park at .200+ so they never collide with fast members.
+Ipv4 slow_fleet_ip(int campaign, int bot) noexcept {
+  const auto base = campaign_base(campaign).value();
+  return Ipv4(base | (static_cast<std::uint32_t>(bot % 2) << 8) |
+              (200u + static_cast<std::uint32_t>(bot / 2)));
+}
+
+/// A "clean" public address far away from the botnet and crawler ranges.
+Ipv4 clean_ip(Rng& rng) {
+  for (;;) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_int(1, 223));
+    // Skip loopback, RFC1918-ish, the botnet /8 neighbourhood we use, and
+    // the crawler range.
+    if (a == 10 || a == 45 || a == 66 || a == 127 || a == 172 || a == 192)
+      continue;
+    const auto rest = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+    return Ipv4((a << 24) | rest);
+  }
+}
+
+/// A human victim address inside a random campaign /24 (collateral pool).
+Ipv4 botnet_neighbour_ip(Rng& rng, int campaigns) {
+  const int c = static_cast<int>(rng.uniform_int(0, campaigns - 1));
+  const auto base = campaign_base(c).value();
+  const std::uint32_t subnet = static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+  const std::uint32_t host =
+      180u + static_cast<std::uint32_t>(rng.uniform_int(0, 15));
+  return Ipv4(base | (subnet << 8) | host);
+}
+
+int scaled(int count, double scale) {
+  if (count == 0) return 0;
+  return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+}  // namespace
+
+ScenarioConfig amadeus_like(double scale) {
+  ScenarioConfig config;
+  config.scale = scale;
+  return config;  // defaults are the calibrated paper-shaped values
+}
+
+ScenarioConfig smoke_test() {
+  ScenarioConfig config;
+  config.scale = 1.0;
+  config.duration_days = 1.0 / 24.0;  // one hour
+  config.human_arrivals_per_s = 0.02;
+  config.campaigns = 1;
+  config.bots_per_campaign = 12;
+  config.slow_bots_per_campaign = 2;
+  config.stealth_bots = 2;
+  config.api_clean_bots = 1;
+  config.api_fleet_bots = 1;
+  config.malformed_bots = 1;
+  config.caching_bots = 1;
+  config.crawler_count = 1;
+  config.monitor_count = 1;
+  config.site.catalogue_size = 2000;
+  return config;
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      site_(config_.site),
+      generator_(config_.end()) {
+  populate();
+}
+
+void Scenario::populate() {
+  Rng root(config_.seed);
+  const Timestamp start = config_.start;
+  const Timestamp end = config_.end();
+  const double scale = config_.scale;
+  // First sessions are staggered uniformly over the pause interval, but
+  // never past the scenario midpoint — short test scenarios must still
+  // contain every population.
+  const double max_stagger_s =
+      config_.duration_days * 24.0 * 3600.0 / 2.0;
+  const auto stagger = [&max_stagger_s](Rng& rng, double pause_s) {
+    return seconds_to_micros(
+        rng.uniform(0.0, std::min(pause_s, max_stagger_s)));
+  };
+
+  // ---- humans: diurnally-modulated Poisson arrival process ----
+  {
+    // Shared mutable state captured by the arrival-process closures.
+    auto arrivals_rng = std::make_shared<Rng>(root.fork());
+    const double base_rate = config_.human_arrivals_per_s * scale;
+    const double amplitude = config_.human_diurnal_amplitude;
+    const Timestamp day0 = start;
+
+    ArrivalProcess humans;
+    humans.next_arrival = [arrivals_rng, base_rate, amplitude,
+                           day0](Timestamp now) -> std::optional<Timestamp> {
+      // Thinning-free approximation: draw from the instantaneous rate.
+      const double hours =
+          static_cast<double>(now - day0) / 1e6 / 3600.0;
+      // Peak mid-afternoon (15:00), trough at night.
+      const double modulation =
+          1.0 + amplitude * std::sin((hours - 9.0) / 24.0 * 2.0 * 3.14159265);
+      const double rate = std::max(1e-6, base_rate * modulation);
+      return now + seconds_to_micros(arrivals_rng->exponential(1.0 / rate));
+    };
+    auto human_rng = std::make_shared<Rng>(root.fork());
+    const auto* site = &site_;
+    const auto human_config = config_.human;
+    const double fp_p = config_.human_in_botnet_subnet_p;
+    const int campaigns = config_.campaigns;
+    auto* id_counter = &next_actor_id_;
+    humans.make_actor = [human_rng, site, human_config, fp_p, campaigns,
+                         id_counter](Timestamp) -> std::unique_ptr<Actor> {
+      Rng session_rng = human_rng->fork();
+      const Ipv4 ip = session_rng.bernoulli(fp_p)
+                          ? botnet_neighbour_ip(session_rng, campaigns)
+                          : clean_ip(session_rng);
+      return std::make_unique<HumanActor>(
+          *site, human_config, ip,
+          std::string(sample_browser_ua(session_rng)), session_rng,
+          (*id_counter)++);
+    };
+    generator_.add_arrivals(std::move(humans), start);
+  }
+
+  // ---- declared crawlers ----
+  for (int i = 0; i < scaled(config_.crawler_count, scale); ++i) {
+    Rng rng = root.fork();
+    CrawlerActor::Config cc;
+    cc.crawl_gap_mean_s = config_.crawler_gap_mean_s;
+    cc.end_time = end;
+    const Ipv4 ip(66, 249, 64, static_cast<std::uint8_t>(10 + i));
+    auto actor = std::make_unique<CrawlerActor>(
+        site_, cc, ip, std::string(sample_crawler_ua(rng)), rng,
+        next_actor_id_++);
+    generator_.add_actor(std::move(actor),
+                         start + seconds_to_micros(rng.uniform(0.0, 60.0)));
+  }
+
+  // ---- uptime monitors ----
+  for (int i = 0; i < scaled(config_.monitor_count, scale); ++i) {
+    Rng rng = root.fork();
+    MonitorActor::Config mc;
+    mc.period_s = config_.monitor_period_s;
+    mc.end_time = end;
+    const Ipv4 ip(63, 143, 42, static_cast<std::uint8_t>(240 + i));
+    generator_.add_actor(
+        std::make_unique<MonitorActor>(site_, mc, ip, rng, next_actor_id_++),
+        start + seconds_to_micros(rng.uniform(0.0, config_.monitor_period_s)));
+  }
+
+  // ---- aggressive fare-scraping fleets ----
+  const int campaigns = config_.campaigns;
+  for (int c = 0; c < campaigns; ++c) {
+    const int bots = scaled(config_.bots_per_campaign, scale);
+    for (int b = 0; b < bots; ++b) {
+      Rng rng = root.fork();
+      BotProfile profile;
+      profile.cls = ActorClass::kScraperAggressive;
+      profile.ip = fleet_ip(c, b);
+      // Per-bot UA identity: half spoof current browsers, the rest leak
+      // automation markers (mirrors the mixed tooling of real botnets).
+      const double ua_roll = rng.uniform();
+      if (ua_roll < 0.45) {
+        profile.user_agent = std::string(sample_browser_ua(rng));
+      } else if (ua_roll < 0.55) {
+        profile.user_agent = std::string(sample_stale_browser_ua(rng));
+      } else if (ua_roll < 0.80) {
+        profile.user_agent = std::string(sample_script_ua(rng));
+      } else {
+        profile.user_agent = std::string(sample_headless_ua(rng));
+      }
+      profile.p_search = 0.08;
+      profile.p_api = 0.0018;
+      profile.p_book = 0.026;
+      profile.p_malformed = 7e-6;
+      profile.gap_mean_s = 0.30;
+      profile.session_len_mean = 380;
+      profile.pause_mean_s = 260'000;  // ~3 days between sweeps
+      auto actor = std::make_unique<ScraperBot>(site_, std::move(profile),
+                                                end, rng, next_actor_id_++);
+      // Stagger first sessions across the first pause interval.
+      generator_.add_actor(std::move(actor),
+                           start + stagger(rng, 260'000.0));
+    }
+
+    // Slow members: below Arcane's behavioural floor, inside the flagged
+    // subnets -> the commercial tool's reputation sweeps them anyway.
+    const int slow = scaled(config_.slow_bots_per_campaign, scale);
+    for (int b = 0; b < slow; ++b) {
+      Rng rng = root.fork();
+      BotProfile profile;
+      profile.cls = ActorClass::kScraperAggressive;
+      profile.ip = slow_fleet_ip(c, b);
+      profile.user_agent = std::string(
+          rng.bernoulli(0.3) ? sample_stale_browser_ua(rng)
+                             : sample_browser_ua(rng));
+      profile.p_search = 0.08;
+      profile.p_book = 0.012;
+      profile.p_malformed = 0.0055;
+      profile.p_dead_link = 0.0028;
+      profile.p_conditional = 0.0022;
+      profile.gap_mean_s = 30.0;
+      profile.session_len_mean = 500;
+      profile.pause_mean_s = 43'200;
+      profile.lifetime_requests = 480;
+      auto actor = std::make_unique<ScraperBot>(site_, std::move(profile),
+                                                end, rng, next_actor_id_++);
+      generator_.add_actor(std::move(actor), start + stagger(rng, 43'200.0));
+    }
+  }
+
+  // ---- stealth (low-and-slow, residential proxies) ----
+  for (int b = 0; b < scaled(config_.stealth_bots, scale); ++b) {
+    Rng rng = root.fork();
+    BotProfile profile;
+    profile.cls = ActorClass::kScraperStealth;
+    profile.ip = clean_ip(rng);
+    profile.user_agent = std::string(sample_browser_ua(rng));
+    profile.p_search = 0.05;
+    profile.p_book = 0.025;
+    profile.gap_mean_s = 5.0;
+    profile.session_len_mean = 110;
+    profile.pause_mean_s = 14'400;
+    profile.lifetime_requests = 350;
+    profile.referer_p = 0.3;  // stealth bots fake referers too
+    auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
+                                              rng, next_actor_id_++);
+    generator_.add_actor(std::move(actor), start + stagger(rng, 14'400.0));
+  }
+
+  // ---- availability-API pollers, clean-IP flavour (in-house tool's catch)
+  for (int b = 0; b < scaled(config_.api_clean_bots, scale); ++b) {
+    Rng rng = root.fork();
+    BotProfile profile;
+    profile.cls = ActorClass::kScraperApi;
+    profile.ip = clean_ip(rng);
+    profile.user_agent = std::string(sample_browser_ua(rng));
+    profile.p_search = 0.02;
+    profile.p_api = 0.93;
+    profile.p_book = 0.02;
+    profile.gap_mean_s = 2.0;
+    profile.session_len_mean = 300;
+    profile.pause_mean_s = 7'200;
+    profile.lifetime_requests = 1'150;
+    auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
+                                              rng, next_actor_id_++);
+    generator_.add_actor(std::move(actor), start + stagger(rng, 7'200.0));
+  }
+
+  // ---- availability-API pollers, fleet flavour (commercial tool's catch)
+  for (int b = 0; b < scaled(config_.api_fleet_bots, scale); ++b) {
+    Rng rng = root.fork();
+    BotProfile profile;
+    profile.cls = ActorClass::kScraperApi;
+    const int c = b % campaigns;
+    profile.ip = Ipv4(campaign_base(c).value() |
+                      (250u + static_cast<std::uint32_t>(b / campaigns)));
+    profile.user_agent = std::string(sample_script_ua(rng));
+    profile.p_api = 0.95;
+    profile.p_search = 0.01;
+    profile.gap_mean_s = 30.0;  // below the behavioural window floor
+    profile.session_len_mean = 250;
+    profile.pause_mean_s = 28'800;
+    profile.lifetime_requests = 740;
+    auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
+                                              rng, next_actor_id_++);
+    generator_.add_actor(std::move(actor), start + stagger(rng, 28'800.0));
+  }
+
+  // ---- malformed-request bots (buggy scraper stacks) ----
+  for (int b = 0; b < scaled(config_.malformed_bots, scale); ++b) {
+    Rng rng = root.fork();
+    BotProfile profile;
+    profile.cls = ActorClass::kScraperMalformed;
+    profile.ip = clean_ip(rng);
+    profile.user_agent = std::string(sample_browser_ua(rng));
+    profile.p_malformed = 0.30;
+    profile.p_dead_link = 0.01;
+    profile.p_search = 0.02;
+    profile.gap_mean_s = 5.0;
+    profile.session_len_mean = 60;
+    profile.pause_mean_s = 14'400;
+    profile.lifetime_requests = 280;
+    auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
+                                              rng, next_actor_id_++);
+    generator_.add_actor(std::move(actor), start + stagger(rng, 14'400.0));
+  }
+
+  // ---- conditional-GET caching scrapers ----
+  for (int b = 0; b < scaled(config_.caching_bots, scale); ++b) {
+    Rng rng = root.fork();
+    BotProfile profile;
+    profile.cls = ActorClass::kScraperCaching;
+    profile.ip = clean_ip(rng);
+    profile.user_agent = std::string(sample_browser_ua(rng));
+    profile.p_conditional = 0.80;
+    profile.gap_mean_s = 4.0;
+    profile.session_len_mean = 80;
+    profile.pause_mean_s = 21'600;
+    profile.lifetime_requests = 58;
+    auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
+                                              rng, next_actor_id_++);
+    generator_.add_actor(std::move(actor), start + stagger(rng, 21'600.0));
+  }
+}
+
+}  // namespace divscrape::traffic

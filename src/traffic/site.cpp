@@ -1,0 +1,166 @@
+#include "traffic/site.hpp"
+
+#include <array>
+
+namespace divscrape::traffic {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kCities = {
+    "NCE", "LHR", "CDG", "JFK", "MAD", "LIS",
+    "FRA", "AMS", "BCN", "FCO", "VIE", "ZRH"};
+
+constexpr std::array<std::string_view, 7> kAssetNames = {
+    "app", "vendor", "theme", "search", "offers", "booking", "common"};
+
+constexpr std::array<std::string_view, 4> kAssetExts = {"js", "css", "png",
+                                                        "woff2"};
+
+}  // namespace
+
+std::string_view to_string(Endpoint e) noexcept {
+  switch (e) {
+    case Endpoint::kHome: return "home";
+    case Endpoint::kSearch: return "search";
+    case Endpoint::kOffer: return "offer";
+    case Endpoint::kBook: return "book";
+    case Endpoint::kLogin: return "login";
+    case Endpoint::kApiAvail: return "api-availability";
+    case Endpoint::kAsset: return "asset";
+    case Endpoint::kRobots: return "robots";
+    case Endpoint::kAccount: return "account";
+    case Endpoint::kHelp: return "help";
+    case Endpoint::kAbout: return "about";
+    case Endpoint::kDeadLink: return "dead-link";
+  }
+  return "?";
+}
+
+SiteModel::SiteModel() : SiteModel(Config{}) {}
+
+SiteModel::SiteModel(Config config)
+    : config_(config),
+      offer_popularity_(config.catalogue_size, config.offer_zipf_s) {}
+
+std::size_t SiteModel::sample_popular_offer(stats::Rng& rng) const {
+  return offer_popularity_.sample(rng);
+}
+
+std::size_t SiteModel::sample_uniform_offer(stats::Rng& rng) const {
+  return static_cast<std::size_t>(rng.uniform_int(
+      1, static_cast<std::int64_t>(config_.catalogue_size)));
+}
+
+std::string SiteModel::target(Endpoint e, std::size_t item,
+                              stats::Rng& rng) const {
+  switch (e) {
+    case Endpoint::kHome:
+      return "/";
+    case Endpoint::kSearch: {
+      const auto from = kCities[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kCities.size()) - 1))];
+      auto to = from;
+      while (to == from) {
+        to = kCities[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(kCities.size()) - 1))];
+      }
+      const int day = static_cast<int>(rng.uniform_int(1, 28));
+      std::string t = "/search?from=";
+      t += from;
+      t += "&to=";
+      t += to;
+      t += "&date=2018-04-";
+      if (day < 10) t += '0';
+      t += std::to_string(day);
+      return t;
+    }
+    case Endpoint::kOffer:
+      return "/offers/" + std::to_string(item == 0 ? 1 : item);
+    case Endpoint::kBook:
+      return "/book/" + std::to_string(item == 0 ? 1 : item);
+    case Endpoint::kLogin:
+      return "/login";
+    case Endpoint::kApiAvail:
+      return "/api/availability?offer=" + std::to_string(item == 0 ? 1 : item);
+    case Endpoint::kAsset: {
+      const std::size_t idx = item % config_.asset_count;
+      const auto name = kAssetNames[idx % kAssetNames.size()];
+      const auto ext = kAssetExts[(idx / kAssetNames.size()) % kAssetExts.size()];
+      std::string t = "/static/";
+      t += name;
+      t += '-';
+      t += std::to_string(idx);
+      t += '.';
+      t += ext;
+      return t;
+    }
+    case Endpoint::kRobots:
+      return "/robots.txt";
+    case Endpoint::kAccount:
+      return "/account";
+    case Endpoint::kHelp:
+      return "/help";
+    case Endpoint::kAbout:
+      return "/about";
+    case Endpoint::kDeadLink:
+      return "/offers/old/" + std::to_string(item + 900'000);
+  }
+  return "/";
+}
+
+Response SiteModel::respond(Endpoint e, const AccessFlags& flags,
+                            stats::Rng& rng) const {
+  if (flags.malformed) {
+    // The server rejects syntactically broken requests outright.
+    return {400, static_cast<std::uint64_t>(rng.uniform_int(200, 600))};
+  }
+  if (rng.bernoulli(config_.server_error_p) && e != Endpoint::kAsset &&
+      e != Endpoint::kRobots) {
+    return {500, static_cast<std::uint64_t>(rng.uniform_int(300, 900))};
+  }
+  switch (e) {
+    case Endpoint::kHome:
+      return {200, static_cast<std::uint64_t>(rng.lognormal(9.6, 0.2))};
+    case Endpoint::kSearch:
+      // Fare searches usually render results; a minority redirect to a
+      // canonicalized offer listing (the 302 mass in the paper's tables).
+      if (rng.bernoulli(0.028))
+        return {302, static_cast<std::uint64_t>(rng.uniform_int(300, 500))};
+      return {200, static_cast<std::uint64_t>(rng.lognormal(10.4, 0.4))};
+    case Endpoint::kOffer:
+      if (flags.conditional && rng.bernoulli(0.82))
+        return {304, 0};
+      return {200, static_cast<std::uint64_t>(rng.lognormal(9.9, 0.35))};
+    case Endpoint::kBook:
+      // Booking entry redirects into the funnel (or to login when not
+      // authenticated).
+      return {302, static_cast<std::uint64_t>(rng.uniform_int(250, 420))};
+    case Endpoint::kLogin:
+      if (rng.bernoulli(0.9))
+        return {302, static_cast<std::uint64_t>(rng.uniform_int(250, 400))};
+      return {200, static_cast<std::uint64_t>(rng.lognormal(8.9, 0.2))};
+    case Endpoint::kApiAvail:
+      if (rng.bernoulli(config_.api_no_content_p)) return {204, 0};
+      return {200, static_cast<std::uint64_t>(rng.lognormal(6.8, 0.4))};
+    case Endpoint::kAsset:
+      if (flags.conditional && rng.bernoulli(0.9)) return {304, 0};
+      return {200, static_cast<std::uint64_t>(rng.lognormal(9.2, 0.9))};
+    case Endpoint::kRobots:
+      return {200, 412};
+    case Endpoint::kAccount:
+      if (!flags.logged_in)
+        return {302, static_cast<std::uint64_t>(rng.uniform_int(250, 400))};
+      return {200, static_cast<std::uint64_t>(rng.lognormal(9.3, 0.25))};
+    case Endpoint::kHelp:
+    case Endpoint::kAbout:
+      return {200, static_cast<std::uint64_t>(rng.lognormal(9.1, 0.2))};
+    case Endpoint::kDeadLink:
+      // A sliver of stale URLs land in an ACL-protected legacy area.
+      if (rng.bernoulli(0.02))
+        return {403, static_cast<std::uint64_t>(rng.uniform_int(280, 420))};
+      return {404, static_cast<std::uint64_t>(rng.uniform_int(280, 500))};
+  }
+  return {200, 1024};
+}
+
+}  // namespace divscrape::traffic

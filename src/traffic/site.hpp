@@ -1,0 +1,97 @@
+// The simulated e-commerce application: a travel-fare site in the style of
+// the paper's Amadeus deployment.
+//
+// The site exposes a fare-search flow (the scraping target), a booking
+// funnel, an availability API, static assets and housekeeping pages. Every
+// endpoint knows how to render a concrete request target and how to sample
+// a plausible response (status, bytes) for a given kind of access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace divscrape::traffic {
+
+/// Endpoints of the simulated application.
+enum class Endpoint : std::uint8_t {
+  kHome,         ///< /
+  kSearch,       ///< /search?from=&to=&date=      (fare search)
+  kOffer,        ///< /offers/{id}                 (the scraped resource)
+  kBook,         ///< /book/{id}                   (booking funnel, 302s)
+  kLogin,        ///< /login                       (302 on success)
+  kApiAvail,     ///< /api/availability?offer={id} (200 or 204)
+  kAsset,        ///< /static/...                  (css/js/img)
+  kRobots,       ///< /robots.txt
+  kAccount,      ///< /account
+  kHelp,         ///< /help
+  kAbout,        ///< /about
+  kDeadLink,     ///< stale/bogus URL -> 404
+};
+
+[[nodiscard]] std::string_view to_string(Endpoint e) noexcept;
+
+/// A concrete response outcome the server produced.
+struct Response {
+  int status = 200;
+  std::uint64_t bytes = 0;
+};
+
+/// Modifiers on how a request is made, affecting the response.
+struct AccessFlags {
+  bool conditional = false;   ///< If-Modified-Since set: may yield 304
+  bool malformed = false;     ///< syntactically broken request: yields 400
+  bool logged_in = false;     ///< affects kAccount / kBook outcomes
+};
+
+/// Immutable description of the simulated site.
+class SiteModel {
+ public:
+  struct Config {
+    std::size_t catalogue_size = 50'000;  ///< number of fare/offer pages
+    double offer_zipf_s = 0.9;            ///< popularity skew of offers
+    std::size_t city_pairs = 400;         ///< distinct search routes
+    std::size_t asset_count = 28;         ///< distinct static assets
+    /// Probability an availability check finds no seats (-> 204).
+    double api_no_content_p = 0.28;
+    /// Baseline probability of a transient server error on dynamic pages.
+    double server_error_p = 8e-6;
+  };
+
+  SiteModel();  ///< default-configured site
+  explicit SiteModel(Config config);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Samples a popular offer id (Zipf-distributed; humans browse popular
+  /// fares). Ids are 1-based.
+  [[nodiscard]] std::size_t sample_popular_offer(stats::Rng& rng) const;
+
+  /// Uniformly random offer id — how a sweeping scraper walks the space.
+  [[nodiscard]] std::size_t sample_uniform_offer(stats::Rng& rng) const;
+
+  /// Renders the request target for an endpoint. `item` selects the offer
+  /// id / asset index / route where relevant (ignored otherwise).
+  [[nodiscard]] std::string target(Endpoint e, std::size_t item,
+                                   stats::Rng& rng) const;
+
+  /// Samples the server's response for an access to `e`.
+  [[nodiscard]] Response respond(Endpoint e, const AccessFlags& flags,
+                                 stats::Rng& rng) const;
+
+  [[nodiscard]] std::size_t catalogue_size() const noexcept {
+    return config_.catalogue_size;
+  }
+  [[nodiscard]] std::size_t asset_count() const noexcept {
+    return config_.asset_count;
+  }
+
+ private:
+  Config config_;
+  stats::ZipfDistribution offer_popularity_;
+};
+
+}  // namespace divscrape::traffic

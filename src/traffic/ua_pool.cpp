@@ -1,0 +1,108 @@
+#include "traffic/ua_pool.hpp"
+
+#include <array>
+
+namespace divscrape::traffic {
+
+namespace {
+
+struct WeightedUa {
+  std::string_view ua;
+  double weight;
+};
+
+constexpr std::array<WeightedUa, 8> kBrowsers = {{
+    {"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, "
+     "like Gecko) Chrome/64.0.3282.186 Safari/537.36",
+     0.34},
+    {"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/537.36 "
+     "(KHTML, like Gecko) Chrome/64.0.3282.167 Safari/537.36",
+     0.12},
+    {"Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:58.0) Gecko/20100101 "
+     "Firefox/58.0",
+     0.13},
+    {"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/604.5.6 "
+     "(KHTML, like Gecko) Version/11.0.3 Safari/604.5.6",
+     0.09},
+    {"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, "
+     "like Gecko) Chrome/64.0.3282.140 Safari/537.36 Edge/16.16299",
+     0.05},
+    {"Mozilla/5.0 (iPhone; CPU iPhone OS 11_2_6 like Mac OS X) "
+     "AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0 Mobile/15D100 "
+     "Safari/604.1",
+     0.15},
+    {"Mozilla/5.0 (Linux; Android 8.0.0; Pixel 2 Build/OPD1.170816.004) "
+     "AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.137 Mobile "
+     "Safari/537.36",
+     0.10},
+    {"Mozilla/5.0 (X11; Linux x86_64; rv:52.0) Gecko/20100101 Firefox/52.0",
+     0.02},
+}};
+
+constexpr std::array<std::string_view, 3> kStaleBrowsers = {
+    "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/41.0.2272.89 Safari/537.36",
+    "Mozilla/5.0 (Windows NT 6.1; rv:40.0) Gecko/20100101 Firefox/40.1",
+    "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.0)",
+};
+
+constexpr std::array<std::string_view, 3> kCrawlers = {
+    "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+    "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+    "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)",
+};
+
+constexpr std::array<std::string_view, 5> kScripts = {
+    "python-requests/2.18.4",
+    "curl/7.58.0",
+    "Scrapy/1.5.0 (+https://scrapy.org)",
+    "Go-http-client/1.1",
+    "Java/1.8.0_161",
+};
+
+constexpr std::array<std::string_view, 2> kHeadless = {
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) "
+    "HeadlessChrome/64.0.3282.119 Safari/537.36",
+    "Mozilla/5.0 (Unknown; Linux x86_64) AppleWebKit/538.1 (KHTML, like "
+    "Gecko) PhantomJS/2.1.1 Safari/538.1",
+};
+
+template <std::size_t N>
+std::string_view pick(const std::array<std::string_view, N>& pool,
+                      stats::Rng& rng) noexcept {
+  return pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(N) - 1))];
+}
+
+}  // namespace
+
+std::string_view sample_browser_ua(stats::Rng& rng) noexcept {
+  double u = rng.uniform();
+  for (const auto& [ua, weight] : kBrowsers) {
+    if (u < weight) return ua;
+    u -= weight;
+  }
+  return kBrowsers.front().ua;
+}
+
+std::string_view sample_stale_browser_ua(stats::Rng& rng) noexcept {
+  return pick(kStaleBrowsers, rng);
+}
+
+std::string_view sample_crawler_ua(stats::Rng& rng) noexcept {
+  return pick(kCrawlers, rng);
+}
+
+std::string_view monitor_ua() noexcept {
+  return "UptimeRobot/2.0 (http://www.uptimerobot.com/)";
+}
+
+std::string_view sample_script_ua(stats::Rng& rng) noexcept {
+  return pick(kScripts, rng);
+}
+
+std::string_view sample_headless_ua(stats::Rng& rng) noexcept {
+  return pick(kHeadless, rng);
+}
+
+}  // namespace divscrape::traffic

@@ -1,0 +1,34 @@
+// User-Agent string pools for the simulated populations: a weighted set of
+// 2018-era browser UAs for humans (and for scrapers that spoof them),
+// declared crawler UAs, and automation-framework defaults.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stats/rng.hpp"
+
+namespace divscrape::traffic {
+
+/// Weighted sample from the mainstream-browser pool (Chrome/Firefox/Safari/
+/// Edge/mobile, market-share-ish weights for early 2018).
+[[nodiscard]] std::string_view sample_browser_ua(stats::Rng& rng) noexcept;
+
+/// An *outdated* browser UA — headless farms pin stale versions; gives the
+/// commercial detector a weak fingerprint signal.
+[[nodiscard]] std::string_view sample_stale_browser_ua(
+    stats::Rng& rng) noexcept;
+
+/// Declared search-engine crawler UA.
+[[nodiscard]] std::string_view sample_crawler_ua(stats::Rng& rng) noexcept;
+
+/// Monitoring probe UA.
+[[nodiscard]] std::string_view monitor_ua() noexcept;
+
+/// Automation/script default UA (curl, python-requests, Scrapy, ...).
+[[nodiscard]] std::string_view sample_script_ua(stats::Rng& rng) noexcept;
+
+/// Headless browser UA.
+[[nodiscard]] std::string_view sample_headless_ua(stats::Rng& rng) noexcept;
+
+}  // namespace divscrape::traffic

@@ -1,0 +1,129 @@
+// Weighted-vote adjudication tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/adjudication.hpp"
+
+namespace {
+
+using divscrape::core::accuracy_weights;
+using divscrape::core::AdjudicationSweep;
+using divscrape::core::ConfusionMatrix;
+using divscrape::core::WeightedVote;
+using divscrape::httplog::Truth;
+using Verdict = divscrape::detectors::Verdict;
+
+std::vector<Verdict> verdicts(std::initializer_list<bool> alerts) {
+  std::vector<Verdict> out;
+  for (const bool a : alerts) {
+    out.push_back({a, a ? 1.0 : 0.0,
+                   divscrape::detectors::AlertReason::kBehavioral});
+  }
+  return out;
+}
+
+TEST(WeightedVote, KofNEquivalence) {
+  const auto one_of_three = WeightedVote::k_of_n(3, 1);
+  const auto two_of_three = WeightedVote::k_of_n(3, 2);
+  const auto all_three = WeightedVote::k_of_n(3, 3);
+
+  const auto v100 = verdicts({true, false, false});
+  const auto v110 = verdicts({true, true, false});
+  const auto v111 = verdicts({true, true, true});
+  const auto v000 = verdicts({false, false, false});
+
+  EXPECT_TRUE(one_of_three.decide(v100));
+  EXPECT_FALSE(two_of_three.decide(v100));
+  EXPECT_TRUE(two_of_three.decide(v110));
+  EXPECT_FALSE(all_three.decide(v110));
+  EXPECT_TRUE(all_three.decide(v111));
+  EXPECT_FALSE(one_of_three.decide(v000));
+}
+
+TEST(WeightedVote, WeightsShiftTheDecision) {
+  // Trusted tool (weight 3) outvotes two distrusted ones (weight 1 each).
+  const WeightedVote vote({3.0, 1.0, 1.0}, 3.0);
+  EXPECT_TRUE(vote.decide(verdicts({true, false, false})));
+  EXPECT_FALSE(vote.decide(verdicts({false, true, true})));
+}
+
+TEST(WeightedVote, SoftScoreIsWeightedMean) {
+  const WeightedVote vote({1.0, 3.0}, 1.0);
+  std::vector<Verdict> v = {
+      {true, 1.0, divscrape::detectors::AlertReason::kBehavioral},
+      {false, 0.5, divscrape::detectors::AlertReason::kNone}};
+  EXPECT_DOUBLE_EQ(vote.soft_score(v), (1.0 * 1.0 + 3.0 * 0.5) / 4.0);
+}
+
+TEST(WeightedVote, RejectsBadConstruction) {
+  EXPECT_THROW(WeightedVote({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeightedVote({-1.0, 2.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeightedVote({0.0, 0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeightedVote::k_of_n(2, 0), std::invalid_argument);
+  EXPECT_THROW(WeightedVote::k_of_n(2, 3), std::invalid_argument);
+}
+
+TEST(AccuracyWeights, MonotoneInBalancedAccuracy) {
+  ConfusionMatrix good;
+  good.tp = 99;
+  good.fn = 1;
+  good.tn = 99;
+  good.fp = 1;
+  ConfusionMatrix mediocre;
+  mediocre.tp = 70;
+  mediocre.fn = 30;
+  mediocre.tn = 70;
+  mediocre.fp = 30;
+  ConfusionMatrix chance;
+  chance.tp = 50;
+  chance.fn = 50;
+  chance.tn = 50;
+  chance.fp = 50;
+  const std::array<ConfusionMatrix, 3> matrices = {good, mediocre, chance};
+  const auto weights = accuracy_weights(matrices);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_GT(weights[0], weights[1]);
+  EXPECT_GT(weights[1], weights[2]);
+  EXPECT_NEAR(weights[2], 0.0, 1e-9);  // chance-level tool gets no vote
+}
+
+TEST(AccuracyWeights, WorseThanChanceClampedToZero) {
+  ConfusionMatrix bad;
+  bad.tp = 10;
+  bad.fn = 90;
+  bad.tn = 10;
+  bad.fp = 90;
+  const std::array<ConfusionMatrix, 1> matrices = {bad};
+  EXPECT_DOUBLE_EQ(accuracy_weights(matrices)[0], 0.0);
+}
+
+TEST(AdjudicationSweep, TracksPoliciesIndependently) {
+  std::vector<AdjudicationSweep::Policy> policies;
+  policies.push_back({"1oo2", WeightedVote::k_of_n(2, 1)});
+  policies.push_back({"2oo2", WeightedVote::k_of_n(2, 2)});
+  AdjudicationSweep sweep(std::move(policies));
+
+  // Malicious request caught by one tool only.
+  sweep.observe(Truth::kMalicious, verdicts({true, false}));
+  // Benign request flagged by one tool only.
+  sweep.observe(Truth::kBenign, verdicts({false, true}));
+  // Malicious caught by both.
+  sweep.observe(Truth::kMalicious, verdicts({true, true}));
+
+  const auto& union_cm = sweep.confusion(0);
+  const auto& inter_cm = sweep.confusion(1);
+  EXPECT_EQ(union_cm.tp, 2u);
+  EXPECT_EQ(union_cm.fp, 1u);
+  EXPECT_EQ(inter_cm.tp, 1u);
+  EXPECT_EQ(inter_cm.fp, 0u);
+  EXPECT_EQ(inter_cm.fn, 1u);
+  EXPECT_EQ(inter_cm.tn, 1u);
+}
+
+TEST(AdjudicationSweep, RejectsEmptyPolicies) {
+  EXPECT_THROW(AdjudicationSweep({}), std::invalid_argument);
+}
+
+}  // namespace

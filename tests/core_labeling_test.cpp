@@ -1,0 +1,190 @@
+// Heuristic-labeller tests: session judging, stream labelling, and the
+// audit against simulator truth (the paper's Section V labelling step).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "traffic/scenario.hpp"
+
+namespace {
+
+using divscrape::core::HeuristicLabeler;
+using divscrape::core::LabelerConfig;
+using divscrape::httplog::Ipv4;
+using divscrape::httplog::LogRecord;
+using divscrape::httplog::Session;
+using divscrape::httplog::SessionKey;
+using divscrape::httplog::Timestamp;
+using divscrape::httplog::Truth;
+
+constexpr const char* kBrowserUa =
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, "
+    "like Gecko) Chrome/64.0.3282.186 Safari/537.36";
+
+Session make_session(const char* ua,
+                     const std::vector<std::tuple<double, const char*, int,
+                                                  const char*>>& requests) {
+  SessionKey key{Ipv4(9, 9, 9, 9), ua};
+  Session session(key, Timestamp(0));
+  for (const auto& [t, target, status, referer] : requests) {
+    LogRecord r;
+    r.ip = key.ip;
+    r.user_agent = ua;
+    r.time = Timestamp(static_cast<std::int64_t>(t * 1e6));
+    r.target = target;
+    r.status = status;
+    r.referer = referer;
+    session.add(r);
+  }
+  return session;
+}
+
+TEST(Labeler, ShortSessionsStayUnknown) {
+  HeuristicLabeler labeler;
+  const auto session =
+      make_session(kBrowserUa, {{0.0, "/offers/1", 200, "-"},
+                                {1.0, "/offers/2", 200, "-"}});
+  EXPECT_EQ(labeler.judge(session), Truth::kUnknown);
+}
+
+TEST(Labeler, ScriptedUaIsDecisive) {
+  HeuristicLabeler labeler;
+  std::vector<std::tuple<double, const char*, int, const char*>> reqs;
+  for (int i = 0; i < 6; ++i) reqs.push_back({i * 5.0, "/offers/1", 200, "-"});
+  const auto session = make_session("curl/7.58.0", reqs);
+  EXPECT_EQ(labeler.judge(session), Truth::kMalicious);
+}
+
+TEST(Labeler, DeclaredCrawlerIsBenign) {
+  HeuristicLabeler labeler;
+  std::vector<std::tuple<double, const char*, int, const char*>> reqs;
+  for (int i = 0; i < 50; ++i) reqs.push_back({i * 0.2, "/offers/1", 200, "-"});
+  const auto session = make_session(
+      "Mozilla/5.0 (compatible; Googlebot/2.1; "
+      "+http://www.google.com/bot.html)",
+      reqs);
+  EXPECT_EQ(labeler.judge(session), Truth::kBenign);
+}
+
+TEST(Labeler, CatalogueSweepJudgedMalicious) {
+  HeuristicLabeler labeler;
+  std::vector<std::string> paths;
+  std::vector<std::tuple<double, const char*, int, const char*>> reqs;
+  paths.reserve(60);
+  for (int i = 0; i < 60; ++i)
+    paths.push_back("/offers/" + std::to_string(1000 + i));
+  for (int i = 0; i < 60; ++i)
+    reqs.push_back({i * 0.4, paths[static_cast<std::size_t>(i)].c_str(), 200,
+                    "-"});
+  const auto session = make_session(kBrowserUa, reqs);
+  EXPECT_EQ(labeler.judge(session), Truth::kMalicious);
+}
+
+TEST(Labeler, BrowsingSessionJudgedBenign) {
+  HeuristicLabeler labeler;
+  const char* referer = "https://shop.example.com/search";
+  const auto session = make_session(
+      kBrowserUa, {{0.0, "/search?from=NCE&to=LHR", 200, "-"},
+                   {0.5, "/static/app-1.js", 200, referer},
+                   {0.9, "/static/theme-2.css", 200, referer},
+                   {20.0, "/offers/12", 200, referer},
+                   {21.0, "/static/offers-4.js", 200, referer},
+                   {55.0, "/offers/99", 200, referer},
+                   {90.0, "/book/99", 302, referer}});
+  EXPECT_EQ(labeler.judge(session), Truth::kBenign);
+}
+
+TEST(Labeler, AmbiguousSessionStaysUnknown) {
+  HeuristicLabeler labeler;
+  // Bot-fast rate but with assets and diverse templates: one automation
+  // signal against two human signals — inside the decision margin.
+  const char* referer = "https://shop.example.com/";
+  const auto session = make_session(
+      kBrowserUa, {{0.0, "/offers/1", 200, "-"},
+                   {1.0, "/offers/2", 200, referer},
+                   {2.0, "/static/app-1.js", 200, "-"},
+                   {3.0, "/offers/3", 200, "-"},
+                   {4.0, "/search?from=NCE&to=LHR", 200, referer}});
+  EXPECT_EQ(labeler.judge(session), Truth::kUnknown);
+}
+
+TEST(Labeler, LabelOverwritesTruthInPlace) {
+  // Build a small stream: one scripted sweep + one human-ish session.
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 30; ++i) {
+    LogRecord r;
+    r.ip = Ipv4(1, 1, 1, 1);
+    r.user_agent = "python-requests/2.18.4";
+    r.time = Timestamp(i * 2'000'000);
+    r.target = "/offers/" + std::to_string(i);
+    r.truth = Truth::kUnknown;
+    records.push_back(r);
+  }
+  HeuristicLabeler labeler;
+  const auto result = labeler.label(records);
+  EXPECT_EQ(result.records, 30u);
+  EXPECT_EQ(result.labeled_malicious, 30u);
+  for (const auto& r : records) EXPECT_EQ(r.truth, Truth::kMalicious);
+}
+
+TEST(Labeler, SessionBoundariesRespectedInPass2) {
+  // Two sessions of the same client separated by > timeout; the first is
+  // a scripted sweep, the second is too short to judge.
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    LogRecord r;
+    r.ip = Ipv4(2, 2, 2, 2);
+    r.user_agent = "curl/7.58.0";
+    r.time = Timestamp(i * 1'000'000);
+    r.target = "/offers/1";
+    records.push_back(r);
+  }
+  for (int i = 0; i < 2; ++i) {
+    LogRecord r;
+    r.ip = Ipv4(2, 2, 2, 2);
+    r.user_agent = "curl/7.58.0";
+    r.time = Timestamp((10'000 + i) * 1'000'000);  // ~2.8h later
+    r.target = "/offers/1";
+    records.push_back(r);
+  }
+  HeuristicLabeler labeler;
+  const auto result = labeler.label(records);
+  EXPECT_EQ(result.labeled_malicious, 20u);
+  EXPECT_EQ(result.left_unknown, 2u);
+  EXPECT_EQ(records[20].truth, Truth::kUnknown);
+}
+
+TEST(Labeler, AuditAgainstSimulatorTruth) {
+  // End-to-end: generate labelled traffic, scrub the labels, re-label
+  // heuristically, audit. The conservative labeller must be high-purity
+  // (low disagreement where it decides) with substantial coverage.
+  auto config = divscrape::traffic::smoke_test();
+  config.duration_days = 0.5;
+  divscrape::traffic::Scenario scenario(config);
+  std::vector<LogRecord> records;
+  std::vector<Truth> reference;
+  LogRecord r;
+  while (scenario.next(r)) {
+    reference.push_back(r.truth);
+    r.truth = Truth::kUnknown;  // scrub: the analyst's starting position
+    records.push_back(r);
+  }
+
+  HeuristicLabeler labeler;
+  const auto result = labeler.label(records);
+  const auto audit = HeuristicLabeler::audit(reference, records);
+
+  EXPECT_GT(result.coverage(), 0.5);
+  ASSERT_GT(audit.decided, 0u);
+  EXPECT_GT(audit.agreement(), 0.95);
+}
+
+TEST(Labeler, AuditSizeMismatchThrows) {
+  std::vector<Truth> reference(3, Truth::kBenign);
+  std::vector<LogRecord> labeled(2);
+  EXPECT_THROW(HeuristicLabeler::audit(reference, labeled),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Time-series collector tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/timeseries.hpp"
+
+namespace {
+
+using divscrape::core::TimeSeriesCollector;
+using divscrape::httplog::Ipv4;
+using divscrape::httplog::LogRecord;
+using divscrape::httplog::Timestamp;
+using divscrape::httplog::Truth;
+using Verdict = divscrape::detectors::Verdict;
+
+LogRecord at(double t_s, Truth truth = Truth::kBenign) {
+  LogRecord r;
+  r.ip = Ipv4(1, 2, 3, 4);
+  r.time = Timestamp(static_cast<std::int64_t>(t_s * 1e6));
+  r.truth = truth;
+  return r;
+}
+
+std::vector<Verdict> verdicts(bool a, bool b) {
+  return {{a, a ? 1.0 : 0.0, divscrape::detectors::AlertReason::kRateLimit},
+          {b, b ? 1.0 : 0.0, divscrape::detectors::AlertReason::kBehavioral}};
+}
+
+TEST(TimeSeries, BucketsByWidth) {
+  TimeSeriesCollector ts(2, Timestamp(0), 60.0);
+  ts.observe(at(0.0), verdicts(true, false));
+  ts.observe(at(59.9), verdicts(false, false));
+  ts.observe(at(60.0), verdicts(true, true));
+  ts.observe(at(185.0), verdicts(false, true));
+  ASSERT_EQ(ts.buckets().size(), 4u);
+  EXPECT_EQ(ts.buckets()[0].requests, 2u);
+  EXPECT_EQ(ts.buckets()[0].alerts[0], 1u);
+  EXPECT_EQ(ts.buckets()[0].alerts[1], 0u);
+  EXPECT_EQ(ts.buckets()[1].requests, 1u);
+  EXPECT_EQ(ts.buckets()[2].requests, 0u);  // empty gap bucket
+  EXPECT_EQ(ts.buckets()[3].alerts[1], 1u);
+}
+
+TEST(TimeSeries, TruthCounting) {
+  TimeSeriesCollector ts(1, Timestamp(0), 10.0);
+  ts.observe(at(1.0, Truth::kMalicious), verdicts(true, false));
+  ts.observe(at(2.0, Truth::kBenign), verdicts(false, false));
+  ts.observe(at(3.0, Truth::kUnknown), verdicts(false, false));
+  EXPECT_EQ(ts.buckets()[0].malicious, 1u);
+  EXPECT_EQ(ts.buckets()[0].requests, 3u);
+}
+
+TEST(TimeSeries, RecordsBeforeOriginIgnored) {
+  TimeSeriesCollector ts(1, Timestamp(1'000'000), 10.0);
+  ts.observe(at(0.5), verdicts(true, false));
+  EXPECT_TRUE(ts.buckets().empty());
+}
+
+TEST(TimeSeries, PeakBucket) {
+  TimeSeriesCollector ts(1, Timestamp(0), 10.0);
+  EXPECT_EQ(ts.peak_bucket(), SIZE_MAX);
+  ts.observe(at(1.0), verdicts(false, false));
+  ts.observe(at(11.0), verdicts(false, false));
+  ts.observe(at(12.0), verdicts(false, false));
+  EXPECT_EQ(ts.peak_bucket(), 1u);
+}
+
+TEST(TimeSeries, RejectsNonPositiveWidth) {
+  EXPECT_THROW(TimeSeriesCollector(1, Timestamp(0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(TimeSeriesCollector(1, Timestamp(0), -5.0),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, PrintAndCsvRender) {
+  TimeSeriesCollector ts(2, Timestamp(0), 3600.0);
+  for (int i = 0; i < 10; ++i)
+    ts.observe(at(i * 600.0, Truth::kMalicious), verdicts(true, i % 2 == 0));
+  const std::vector<std::string> names = {"sentinel", "arcane"};
+
+  std::ostringstream table;
+  ts.print(table, names);
+  EXPECT_NE(table.str().find("sentinel"), std::string::npos);
+  EXPECT_NE(table.str().find("100.0%"), std::string::npos);
+
+  std::ostringstream csv;
+  ts.export_csv(csv, names);
+  EXPECT_NE(csv.str().find("bucket_start,requests,malicious,sentinel,arcane"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("1970-01-01T00:00:00Z,6,6,6,3"),
+            std::string::npos);
+}
+
+TEST(TimeSeries, StrideMergesDisplayRows) {
+  TimeSeriesCollector ts(1, Timestamp(0), 3600.0);
+  for (int h = 0; h < 48; ++h)
+    ts.observe(at(h * 3600.0 + 1.0), verdicts(true, false));
+  std::ostringstream os;
+  ts.print(os, std::vector<std::string>{"d"}, 24);
+  // 48 hourly buckets at stride 24 -> 2 data rows + header.
+  int lines = 0;
+  for (const char c : os.str()) lines += c == '\n';
+  EXPECT_EQ(lines, 3);
+}
+
+}  // namespace

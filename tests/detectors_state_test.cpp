@@ -1,0 +1,106 @@
+// State-boundedness tests: multi-day streams must not accumulate
+// unbounded per-client state in any detector (the lazy GC sweeps work).
+// These are the tests that keep the 8-day paper-scale run inside memory.
+#include <gtest/gtest.h>
+
+#include "detectors/arcane.hpp"
+#include "detectors/baselines.hpp"
+#include "detectors/sentinel.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using divscrape::detectors::ArcaneDetector;
+using divscrape::detectors::RateLimitDetector;
+using divscrape::detectors::SentinelDetector;
+using divscrape::httplog::Ipv4;
+using divscrape::httplog::LogRecord;
+using divscrape::httplog::Timestamp;
+
+// A stream of one-shot clients: every IP appears once, then never again.
+// 400k records spanning ~4.6 simulated days.
+template <typename Detector>
+std::size_t run_one_shot_clients(Detector& detector) {
+  divscrape::stats::Rng rng(123);
+  LogRecord r;
+  for (int i = 0; i < 400'000; ++i) {
+    r.ip = Ipv4(static_cast<std::uint32_t>(0x0B000000 + i));  // 11.x.y.z
+    r.time = Timestamp(static_cast<std::int64_t>(i) * 1'000'000);
+    r.target = "/offers/" + std::to_string(i % 500);
+    r.user_agent =
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+        "(KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36";
+    (void)detector.evaluate(r);
+  }
+  return 0;
+}
+
+TEST(StateBounds, ArcaneForgetsIdleClients) {
+  ArcaneDetector arcane;
+  run_one_shot_clients(arcane);
+  // 400k distinct clients were seen; only the recent window of clients
+  // (one per second, hour-long GC horizon, 100k-eval sweep cadence) may
+  // remain tracked.
+  EXPECT_LT(arcane.tracked_clients(), 110'000u);
+}
+
+TEST(StateBounds, SentinelDropsIdleUnflaggedIps) {
+  SentinelDetector sentinel;
+  run_one_shot_clients(sentinel);
+  // One request per IP never flags anyone; idle entries must be swept.
+  EXPECT_EQ(sentinel.flagged_ips(), 0u);
+}
+
+TEST(StateBounds, FlaggedStateSurvivesSweeps) {
+  // A client that earned a flag must stay flagged across GC sweeps while
+  // its TTL lives, even as unrelated one-shot traffic churns the maps.
+  SentinelDetector sentinel;
+  const Ipv4 attacker(66, 111, 1, 1);  // note: 66.x but not a declared bot
+  LogRecord r;
+  r.user_agent = "curl/7.58.0";  // instant flag
+  r.ip = attacker;
+  r.time = Timestamp(0);
+  EXPECT_TRUE(sentinel.evaluate(r).alert);
+
+  // Churn 150k one-shot clients over ~100 simulated minutes (< TTL).
+  divscrape::stats::Rng rng(5);
+  LogRecord noise;
+  noise.user_agent =
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+      "(KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36";
+  for (int i = 0; i < 150'000; ++i) {
+    noise.ip = Ipv4(static_cast<std::uint32_t>(0x0C000000 + i));
+    noise.time = Timestamp(static_cast<std::int64_t>(i) * 40'000);  // 25/s
+    (void)sentinel.evaluate(noise);
+  }
+
+  // The attacker returns with a clean browser UA: reputation must hold.
+  LogRecord comeback;
+  comeback.ip = attacker;
+  comeback.time = Timestamp(150'000LL * 40'000);
+  comeback.user_agent = noise.user_agent;
+  comeback.target = "/offers/1";
+  const auto verdict = sentinel.evaluate(comeback);
+  EXPECT_TRUE(verdict.alert);
+  EXPECT_EQ(verdict.reason,
+            divscrape::detectors::AlertReason::kIpReputation);
+}
+
+TEST(StateBounds, RateLimiterWindowsAreGarbageCollected) {
+  RateLimitDetector limiter;
+  run_one_shot_clients(limiter);
+  // No assertion handle on internals; the property here is completing
+  // without pathological memory growth, plus behaviour staying correct:
+  LogRecord r;
+  r.ip = Ipv4(9, 9, 9, 9);
+  r.time = Timestamp(500'000LL * 1'000'000);
+  r.user_agent = "UA";
+  for (int i = 0; i < 89; ++i) {
+    r.time = r.time + 100'000;
+    EXPECT_FALSE(limiter.evaluate(r).alert);
+  }
+  r.time = r.time + 100'000;
+  EXPECT_TRUE(limiter.evaluate(r).alert);  // 90th within the window
+}
+
+}  // namespace

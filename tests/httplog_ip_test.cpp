@@ -1,0 +1,67 @@
+// IPv4 value-type tests.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "httplog/ip.hpp"
+
+namespace {
+
+using divscrape::httplog::Ipv4;
+using divscrape::httplog::Ipv4Hash;
+using divscrape::httplog::parse_ipv4;
+
+TEST(Ipv4, OctetConstruction) {
+  const Ipv4 ip(192, 168, 1, 10);
+  EXPECT_EQ(ip.value(), 0xC0A8010Au);
+  EXPECT_EQ(ip.to_string(), "192.168.1.10");
+}
+
+TEST(Ipv4, RoundTripParseFormat) {
+  for (const auto* text :
+       {"0.0.0.0", "255.255.255.255", "45.141.0.202", "8.8.8.8"}) {
+    const auto ip = parse_ipv4(text);
+    ASSERT_TRUE(ip.has_value()) << text;
+    EXPECT_EQ(ip->to_string(), text);
+  }
+}
+
+class BadIpTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadIpTest, Rejected) {
+  EXPECT_FALSE(parse_ipv4(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, BadIpTest,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5",
+                                           "256.1.1.1", "1.2.3.999",
+                                           "a.b.c.d", "1..2.3", "1.2.3.4 ",
+                                           " 1.2.3.4", "1,2,3,4", "-1.2.3.4"));
+
+TEST(Ipv4, PrefixMasksHostBits) {
+  const Ipv4 ip(45, 140, 3, 77);
+  EXPECT_EQ(ip.prefix(24), Ipv4(45, 140, 3, 0));
+  EXPECT_EQ(ip.prefix(16), Ipv4(45, 140, 0, 0));
+  EXPECT_EQ(ip.prefix(8), Ipv4(45, 0, 0, 0));
+  EXPECT_EQ(ip.prefix(32), ip);
+  EXPECT_EQ(ip.prefix(0), Ipv4(0u));
+  EXPECT_EQ(ip.prefix(-4), Ipv4(0u));
+  EXPECT_EQ(ip.prefix(40), ip);
+}
+
+TEST(Ipv4, OrderingFollowsNumericValue) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4(10, 0, 0, 1), Ipv4(0x0A000001u));
+}
+
+TEST(Ipv4, HashSpreadsSequentialAddresses) {
+  // Botnet members are IP-sequential; their hashes must not collide.
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t host = 0; host < 1000; ++host) {
+    hashes.insert(Ipv4Hash{}(Ipv4(0x2D8C0000u + host)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Timestamp tests: civil conversions, CLF time codec, timezone handling.
+#include <gtest/gtest.h>
+
+#include "httplog/timestamp.hpp"
+
+namespace {
+
+using divscrape::httplog::kMicrosPerDay;
+using divscrape::httplog::kMicrosPerHour;
+using divscrape::httplog::parse_clf_time;
+using divscrape::httplog::Timestamp;
+
+TEST(Timestamp, EpochIsZero) {
+  EXPECT_EQ(Timestamp::from_civil(1970, 1, 1).micros(), 0);
+}
+
+TEST(Timestamp, KnownCivilInstants) {
+  // 2018-03-11 00:00:00 UTC = 1520726400 (the paper's dataset start).
+  EXPECT_EQ(Timestamp::from_civil(2018, 3, 11).micros(),
+            1'520'726'400LL * 1'000'000);
+  // Leap-year day.
+  EXPECT_EQ(Timestamp::from_civil(2016, 2, 29).micros(),
+            1'456'704'000LL * 1'000'000);
+}
+
+TEST(Timestamp, ClfFormatKnownValue) {
+  const auto t = Timestamp::from_civil(2018, 3, 11, 6, 25, 24);
+  EXPECT_EQ(t.to_clf(), "11/Mar/2018:06:25:24 +0000");
+  EXPECT_EQ(t.to_iso8601(), "2018-03-11T06:25:24Z");
+}
+
+TEST(Timestamp, ClfParseKnownValue) {
+  const auto t = parse_clf_time("11/Mar/2018:06:25:24 +0000");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, Timestamp::from_civil(2018, 3, 11, 6, 25, 24));
+}
+
+TEST(Timestamp, ClfRoundTripAcrossRange) {
+  // Property: to_clf then parse_clf_time is the identity on whole seconds.
+  for (std::int64_t day = 0; day < 9; ++day) {
+    for (const int hour : {0, 5, 12, 23}) {
+      const Timestamp t =
+          Timestamp::from_civil(2018, 3, 11) + day * kMicrosPerDay +
+          hour * kMicrosPerHour + 37 * 1'000'000;
+      const auto back = parse_clf_time(t.to_clf());
+      ASSERT_TRUE(back.has_value()) << t.to_clf();
+      EXPECT_EQ(*back, t);
+    }
+  }
+}
+
+TEST(Timestamp, TimezoneOffsetsNormalizeToUtc) {
+  const auto plus = parse_clf_time("11/Mar/2018:08:00:00 +0200");
+  const auto utc = parse_clf_time("11/Mar/2018:06:00:00 +0000");
+  const auto minus = parse_clf_time("11/Mar/2018:01:00:00 -0500");
+  ASSERT_TRUE(plus && utc && minus);
+  EXPECT_EQ(*plus, *utc);
+  EXPECT_EQ(*minus, *utc);
+}
+
+class BadClfTimeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadClfTimeTest, Rejected) {
+  EXPECT_FALSE(parse_clf_time(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadClfTimeTest,
+    ::testing::Values("", "11/Mar/2018", "11-Mar-2018:06:25:24 +0000",
+                      "11/Foo/2018:06:25:24 +0000",
+                      "99/Mar/2018:06:25:24 +0000",
+                      "11/Mar/2018:99:25:24 +0000",
+                      "11/Mar/2018:06:99:24 +0000",
+                      "11/Mar/2018:06:25:24 0000",
+                      "11/Mar/2018:06:25:24 *0000"));
+
+TEST(Timestamp, ArithmeticAndComparison) {
+  const Timestamp a = Timestamp::from_civil(2018, 3, 11);
+  const Timestamp b = a + 90 * 1'000'000;
+  EXPECT_GT(b, a);
+  EXPECT_EQ(b - a, 90 * 1'000'000);
+  EXPECT_DOUBLE_EQ(a.seconds(), 1'520'726'400.0);
+}
+
+TEST(Timestamp, NegativeMicrosFormatCorrectly) {
+  // One second before the epoch is 1969-12-31 23:59:59.
+  const Timestamp t(-1'000'000);
+  EXPECT_EQ(t.to_iso8601(), "1969-12-31T23:59:59Z");
+}
+
+TEST(Timestamp, LeapSecondTolerated) {
+  // :60 seconds appear in real logs around leap seconds; the parser
+  // accepts them rather than dropping the record.
+  EXPECT_TRUE(parse_clf_time("30/Jun/2015:23:59:60 +0000").has_value());
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// User-Agent taxonomy tests, including every UA the simulator emits —
+// the detector behaviour hinges on these classifications.
+#include <gtest/gtest.h>
+
+#include "httplog/useragent.hpp"
+#include "stats/rng.hpp"
+#include "traffic/ua_pool.hpp"
+
+namespace {
+
+using divscrape::httplog::classify_user_agent;
+using divscrape::httplog::UaFamily;
+
+TEST(Ua, EmptyAndDash) {
+  EXPECT_EQ(classify_user_agent("").family, UaFamily::kEmpty);
+  EXPECT_EQ(classify_user_agent("-").family, UaFamily::kEmpty);
+}
+
+TEST(Ua, DeclaredBots) {
+  const auto googlebot = classify_user_agent(
+      "Mozilla/5.0 (compatible; Googlebot/2.1; "
+      "+http://www.google.com/bot.html)");
+  EXPECT_EQ(googlebot.family, UaFamily::kDeclaredBot);
+  EXPECT_TRUE(googlebot.declared_bot);
+
+  EXPECT_TRUE(classify_user_agent("UptimeRobot/2.0").declared_bot);
+  EXPECT_TRUE(classify_user_agent("SomeRandomBot/0.1").declared_bot);
+  EXPECT_TRUE(classify_user_agent("my-spider 1.0").declared_bot);
+}
+
+TEST(Ua, ScriptClients) {
+  for (const auto* ua :
+       {"curl/7.58.0", "python-requests/2.18.4", "Scrapy/1.5.0",
+        "Go-http-client/1.1", "Java/1.8.0_161", "Wget/1.19"}) {
+    const auto info = classify_user_agent(ua);
+    EXPECT_EQ(info.family, UaFamily::kScriptClient) << ua;
+    EXPECT_TRUE(info.scripted) << ua;
+  }
+}
+
+TEST(Ua, HeadlessBrowsers) {
+  const auto headless = classify_user_agent(
+      "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like "
+      "Gecko) HeadlessChrome/64.0.3282.119 Safari/537.36");
+  EXPECT_EQ(headless.family, UaFamily::kHeadless);
+  EXPECT_TRUE(headless.scripted);
+  EXPECT_EQ(headless.browser_major, 64);
+
+  EXPECT_EQ(classify_user_agent("Mozilla/5.0 PhantomJS/2.1.1").family,
+            UaFamily::kHeadless);
+}
+
+TEST(Ua, ModernBrowsersNotStale) {
+  const auto chrome = classify_user_agent(
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+      "(KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36");
+  EXPECT_EQ(chrome.family, UaFamily::kBrowser);
+  EXPECT_EQ(chrome.browser_major, 64);
+  EXPECT_FALSE(chrome.stale_fingerprint);
+  EXPECT_FALSE(chrome.scripted);
+
+  // Safari's Version/11 token must NOT read as "browser version 11 = old".
+  const auto safari = classify_user_agent(
+      "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/604.5.6 "
+      "(KHTML, like Gecko) Version/11.0.3 Safari/604.5.6");
+  EXPECT_EQ(safari.family, UaFamily::kBrowser);
+  EXPECT_FALSE(safari.stale_fingerprint);
+}
+
+TEST(Ua, StaleBrowsersFlagged) {
+  EXPECT_TRUE(classify_user_agent(
+                  "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 "
+                  "(KHTML, like Gecko) Chrome/41.0.2272.89 Safari/537.36")
+                  .stale_fingerprint);
+  EXPECT_TRUE(classify_user_agent(
+                  "Mozilla/5.0 (Windows NT 6.1; rv:40.0) Gecko/20100101 "
+                  "Firefox/40.1")
+                  .stale_fingerprint);
+  EXPECT_TRUE(
+      classify_user_agent("Mozilla/4.0 (compatible; MSIE 8.0; Windows NT)")
+          .stale_fingerprint);
+}
+
+TEST(Ua, UnknownString) {
+  const auto info = classify_user_agent("totally custom client");
+  EXPECT_EQ(info.family, UaFamily::kUnknown);
+  EXPECT_FALSE(info.scripted);
+}
+
+// Pool-consistency properties: every UA the simulator can emit classifies
+// into the family its actor model assumes.
+TEST(UaPool, BrowserPoolClassifiesAsBrowser) {
+  divscrape::stats::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto ua = divscrape::traffic::sample_browser_ua(rng);
+    const auto info = classify_user_agent(ua);
+    EXPECT_EQ(info.family, UaFamily::kBrowser) << ua;
+    EXPECT_FALSE(info.stale_fingerprint) << ua;
+  }
+}
+
+TEST(UaPool, StalePoolIsStaleBrowser) {
+  divscrape::stats::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto ua = divscrape::traffic::sample_stale_browser_ua(rng);
+    const auto info = classify_user_agent(ua);
+    EXPECT_EQ(info.family, UaFamily::kBrowser) << ua;
+    EXPECT_TRUE(info.stale_fingerprint) << ua;
+  }
+}
+
+TEST(UaPool, CrawlerPoolIsDeclared) {
+  divscrape::stats::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(classify_user_agent(divscrape::traffic::sample_crawler_ua(rng))
+                    .declared_bot);
+  }
+}
+
+TEST(UaPool, ScriptAndHeadlessPoolsAreScripted) {
+  divscrape::stats::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(
+        classify_user_agent(divscrape::traffic::sample_script_ua(rng))
+            .scripted);
+    EXPECT_TRUE(
+        classify_user_agent(divscrape::traffic::sample_headless_ua(rng))
+            .scripted);
+  }
+}
+
+TEST(UaPool, MonitorIsDeclaredBot) {
+  EXPECT_TRUE(classify_user_agent(divscrape::traffic::monitor_ua())
+                  .declared_bot);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Cross-validation tests, plus the double-fault pair accounting that the
+// ensemble analysis sits on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "core/joiner.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/naive_bayes.hpp"
+#include "stats/association.hpp"
+
+namespace {
+
+using divscrape::ml::cross_validate;
+using divscrape::ml::Dataset;
+using divscrape::stats::Rng;
+
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed) {
+  Dataset data({"x", "y"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0);
+    data.add({rng.normal(separation, 1.0), rng.normal(separation, 1.0)}, 1);
+  }
+  return data;
+}
+
+TEST(CrossValidation, AllFoldsEvaluatedOnSeparableData) {
+  const auto data = blobs(150, 4.0, 1);
+  Rng rng(2);
+  const auto result = cross_validate(
+      data,
+      [](const Dataset& train) -> std::unique_ptr<divscrape::ml::Classifier> {
+        return std::make_unique<divscrape::ml::NaiveBayes>(
+            divscrape::ml::NaiveBayes::train(train));
+      },
+      5, rng);
+  EXPECT_EQ(result.folds.size(), 5u);
+  EXPECT_GT(result.accuracy.mean(), 0.95);
+  EXPECT_GT(result.auc.mean(), 0.98);
+  // Every test sample appears in exactly one fold.
+  std::uint64_t tested = 0;
+  for (const auto& fold : result.folds) tested += fold.total();
+  EXPECT_EQ(tested, data.size());
+}
+
+TEST(CrossValidation, DeterministicForSameRngSeed) {
+  const auto data = blobs(80, 3.0, 3);
+  const auto train = [](const Dataset& t)
+      -> std::unique_ptr<divscrape::ml::Classifier> {
+    return std::make_unique<divscrape::ml::DecisionTree>(
+        divscrape::ml::DecisionTree::train(t));
+  };
+  Rng rng1(7), rng2(7);
+  const auto a = cross_validate(data, train, 4, rng1);
+  const auto b = cross_validate(data, train, 4, rng2);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t i = 0; i < a.folds.size(); ++i) {
+    EXPECT_EQ(a.folds[i].tp, b.folds[i].tp);
+    EXPECT_EQ(a.folds[i].fp, b.folds[i].fp);
+  }
+}
+
+TEST(CrossValidation, RejectsBadArguments) {
+  const auto data = blobs(10, 2.0, 4);
+  Rng rng(5);
+  const auto train = [](const Dataset& t)
+      -> std::unique_ptr<divscrape::ml::Classifier> {
+    return std::make_unique<divscrape::ml::NaiveBayes>(
+        divscrape::ml::NaiveBayes::train(t));
+  };
+  EXPECT_THROW((void)cross_validate(data, train, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)cross_validate(data, train, 1000, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)cross_validate(data, {}, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(DoubleFault, ZeroWhenAtLeastOneToolAlwaysRight) {
+  using divscrape::stats::double_fault;
+  using divscrape::stats::PairedCounts;
+  EXPECT_DOUBLE_EQ(double_fault(PairedCounts{0, 10, 10, 80}), 0.0);
+  EXPECT_DOUBLE_EQ(double_fault(PairedCounts{25, 0, 0, 75}), 0.25);
+  EXPECT_DOUBLE_EQ(double_fault(PairedCounts{}), 0.0);
+}
+
+TEST(DoubleFault, JointResultsFaultPairTracksSimultaneousErrors) {
+  using divscrape::core::JointResults;
+  using divscrape::httplog::Truth;
+  using Verdict = divscrape::detectors::Verdict;
+
+  JointResults results({"a", "b"});
+  const auto feed = [&results](bool alert_a, bool alert_b, Truth truth) {
+    divscrape::httplog::LogRecord r;
+    r.truth = truth;
+    const std::array<Verdict, 2> verdicts = {
+        Verdict{alert_a, 1.0, divscrape::detectors::AlertReason::kTrap},
+        Verdict{alert_b, 1.0, divscrape::detectors::AlertReason::kTrap}};
+    results.observe(r, verdicts);
+  };
+  feed(false, false, Truth::kMalicious);  // both wrong (double fault)
+  feed(true, false, Truth::kMalicious);   // only b wrong
+  feed(true, true, Truth::kMalicious);    // both right
+  feed(true, true, Truth::kBenign);       // both wrong (double fault)
+  feed(false, false, Truth::kUnknown);    // excluded
+
+  const auto& faults = results.fault_pair(0, 1);
+  EXPECT_EQ(faults.total(), 4u);
+  EXPECT_EQ(faults.both(), 2u);        // simultaneous errors
+  EXPECT_EQ(faults.second_only(), 1u); // b wrong alone
+  EXPECT_EQ(faults.neither(), 1u);     // both right
+  EXPECT_DOUBLE_EQ(divscrape::stats::double_fault(faults.counts()), 0.5);
+}
+
+TEST(DoubleFault, BoundsAnyAdjudicationScheme) {
+  // Property: the k-of-2 adjudication error count can never drop below
+  // the double-fault mass — with both tools wrong, no vote can be right.
+  using divscrape::core::JointResults;
+  using divscrape::httplog::Truth;
+  using Verdict = divscrape::detectors::Verdict;
+
+  JointResults results({"a", "b"});
+  divscrape::stats::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    divscrape::httplog::LogRecord r;
+    r.truth = rng.bernoulli(0.7) ? Truth::kMalicious : Truth::kBenign;
+    const std::array<Verdict, 2> verdicts = {
+        Verdict{rng.bernoulli(0.8), 1.0,
+                divscrape::detectors::AlertReason::kTrap},
+        Verdict{rng.bernoulli(0.75), 1.0,
+                divscrape::detectors::AlertReason::kTrap}};
+    results.observe(r, verdicts);
+  }
+  const auto double_faults = results.fault_pair(0, 1).both();
+  for (std::size_t k = 1; k <= 2; ++k) {
+    const auto& cm = results.k_of_n_confusion(k);
+    EXPECT_GE(cm.fp + cm.fn, double_faults) << "k=" << k;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,273 @@
+// Learning-substrate tests: datasets, the three classifiers, metrics/AUC,
+// and the session-feature bridge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "httplog/session.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/features.hpp"
+#include "ml/logistic.hpp"
+#include "ml/metrics.hpp"
+#include "ml/naive_bayes.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using divscrape::ml::auc;
+using divscrape::ml::build_session_dataset;
+using divscrape::ml::ClassifierMetrics;
+using divscrape::ml::Dataset;
+using divscrape::ml::DecisionTree;
+using divscrape::ml::extract_features;
+using divscrape::ml::LogisticRegression;
+using divscrape::ml::MetricsAccumulator;
+using divscrape::ml::NaiveBayes;
+using divscrape::ml::roc_curve;
+using divscrape::ml::session_feature_names;
+using divscrape::ml::split_dataset;
+using divscrape::stats::Rng;
+
+// Two well-separated Gaussian blobs in 2D.
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed) {
+  Dataset data({"x", "y"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0);
+    data.add({rng.normal(separation, 1.0), rng.normal(separation, 1.0)}, 1);
+  }
+  return data;
+}
+
+TEST(Dataset, SchemaEnforced) {
+  Dataset data({"a", "b"});
+  EXPECT_THROW(data.add({1.0}, 0), std::invalid_argument);
+  data.add({1.0, 2.0}, 1);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.positives(), 1u);
+}
+
+TEST(Dataset, SplitPreservesSamplesAndIsDeterministic) {
+  const auto data = blobs(100, 3.0, 1);
+  Rng rng1(5), rng2(5);
+  const auto s1 = split_dataset(data, 0.8, rng1);
+  const auto s2 = split_dataset(data, 0.8, rng2);
+  EXPECT_EQ(s1.train.size() + s1.test.size(), data.size());
+  EXPECT_EQ(s1.train.size(), s2.train.size());
+  for (std::size_t i = 0; i < s1.train.size(); ++i) {
+    EXPECT_EQ(s1.train[i].features, s2.train[i].features);
+  }
+  EXPECT_THROW(split_dataset(data, 0.0, rng1), std::invalid_argument);
+}
+
+TEST(Dataset, StandardizationCentersAndScales) {
+  Dataset data({"x"});
+  for (const double v : {2.0, 4.0, 6.0}) data.add({v}, 0);
+  const auto st = data.standardization();
+  EXPECT_DOUBLE_EQ(st.mean[0], 4.0);
+  std::vector<double> f = {4.0};
+  st.apply(f);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+}
+
+TEST(NaiveBayes, SeparatesBlobs) {
+  const auto data = blobs(300, 4.0, 2);
+  const auto model = NaiveBayes::train(data);
+  MetricsAccumulator acc;
+  for (const auto& s : data.samples())
+    acc.add(s.label, model.predict(s.features));
+  EXPECT_GT(acc.metrics().accuracy(), 0.97);
+  EXPECT_NEAR(model.prior_positive(), 0.5, 1e-9);
+}
+
+TEST(NaiveBayes, RequiresBothClasses) {
+  Dataset data({"x"});
+  data.add({1.0}, 1);
+  data.add({2.0}, 1);
+  EXPECT_THROW(NaiveBayes::train(data), std::invalid_argument);
+}
+
+TEST(NaiveBayes, ScoreIsProbability) {
+  const auto data = blobs(100, 3.0, 3);
+  const auto model = NaiveBayes::train(data);
+  for (const auto& s : data.samples()) {
+    const double p = model.score(s.features);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(DecisionTree, LearnsXor) {
+  // Naive Bayes cannot learn XOR; a depth-2 tree can.
+  Dataset data({"x", "y"});
+  Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const double y = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const int label = (x != y) ? 1 : 0;
+    data.add({x + rng.normal(0, 0.05), y + rng.normal(0, 0.05)}, label);
+  }
+  const auto tree = DecisionTree::train(data);
+  MetricsAccumulator acc;
+  for (const auto& s : data.samples())
+    acc.add(s.label, tree.predict(s.features));
+  EXPECT_GT(acc.metrics().accuracy(), 0.95);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const auto data = blobs(200, 1.0, 5);
+  divscrape::ml::TreeParams params;
+  params.max_depth = 1;
+  const auto stump = DecisionTree::train(data, params);
+  EXPECT_LE(stump.depth(), 1u);
+  EXPECT_LE(stump.node_count(), 3u);
+}
+
+TEST(DecisionTree, PureLeafOnTrivialData) {
+  Dataset data({"x"});
+  for (int i = 0; i < 30; ++i) data.add({static_cast<double>(i)}, i >= 15);
+  const auto tree = DecisionTree::train(data);
+  const std::vector<double> lo = {0.0}, hi = {29.0};
+  EXPECT_DOUBLE_EQ(tree.score(lo), 0.0);
+  EXPECT_DOUBLE_EQ(tree.score(hi), 1.0);
+}
+
+TEST(Logistic, SeparatesBlobs) {
+  const auto data = blobs(300, 3.0, 6);
+  const auto model = LogisticRegression::train(data);
+  MetricsAccumulator acc;
+  for (const auto& s : data.samples())
+    acc.add(s.label, model.predict(s.features));
+  EXPECT_GT(acc.metrics().accuracy(), 0.95);
+}
+
+TEST(Logistic, WeightsPointTowardPositiveClass) {
+  const auto data = blobs(300, 3.0, 7);
+  const auto model = LogisticRegression::train(data);
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_GT(model.weights()[1], 0.0);
+}
+
+TEST(Metrics, DerivedRates) {
+  ClassifierMetrics m;
+  m.tp = 40;
+  m.fn = 10;
+  m.tn = 45;
+  m.fp = 5;
+  EXPECT_DOUBLE_EQ(m.sensitivity(), 0.8);
+  EXPECT_DOUBLE_EQ(m.specificity(), 0.9);
+  EXPECT_DOUBLE_EQ(m.precision(), 40.0 / 45.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.85);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate(), 0.1);
+  EXPECT_GT(m.f1(), 0.0);
+}
+
+TEST(Metrics, EmptyIsZeroNotNan) {
+  const ClassifierMetrics m;
+  EXPECT_EQ(m.sensitivity(), 0.0);
+  EXPECT_EQ(m.f1(), 0.0);
+  EXPECT_FALSE(std::isnan(m.accuracy()));
+}
+
+TEST(Auc, PerfectRankingIsOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 1.0);
+}
+
+TEST(Auc, ReversedRankingIsZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.0);
+}
+
+TEST(Auc, RandomScoresNearHalf) {
+  Rng rng(8);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20'000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Auc, TiesHandled) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.5);
+}
+
+TEST(Roc, MonotoneAndAnchored) {
+  Rng rng(9);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.bernoulli(0.4) ? 1 : 0;
+    scores.push_back(rng.normal(label == 1 ? 1.0 : 0.0, 1.0));
+    labels.push_back(label);
+  }
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+  }
+}
+
+TEST(Features, NamesMatchVectorLength) {
+  using divscrape::httplog::Ipv4;
+  using divscrape::httplog::LogRecord;
+  using divscrape::httplog::Session;
+  using divscrape::httplog::SessionKey;
+  using divscrape::httplog::Timestamp;
+
+  SessionKey key{Ipv4(1, 2, 3, 4), "curl/7.58.0"};
+  Session s(key, Timestamp(0));
+  LogRecord r;
+  r.ip = key.ip;
+  r.user_agent = key.user_agent;
+  r.target = "/offers/5";
+  s.add(r);
+  const auto features = extract_features(s);
+  EXPECT_EQ(features.size(), session_feature_names().size());
+  // ua_scripted must be set for curl.
+  const auto& names = session_feature_names();
+  const auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "ua_scripted") - names.begin());
+  ASSERT_LT(idx, features.size());
+  EXPECT_DOUBLE_EQ(features[idx], 1.0);
+}
+
+TEST(Features, DatasetSkipsUnknownTruth) {
+  using divscrape::httplog::Ipv4;
+  using divscrape::httplog::LogRecord;
+  using divscrape::httplog::Session;
+  using divscrape::httplog::SessionKey;
+  using divscrape::httplog::Timestamp;
+  using divscrape::httplog::Truth;
+
+  std::vector<divscrape::httplog::Session> sessions;
+  for (int i = 0; i < 3; ++i) {
+    SessionKey key{Ipv4(1, 1, 1, static_cast<std::uint8_t>(i)), "UA"};
+    Session s(key, Timestamp(0));
+    LogRecord r;
+    r.ip = key.ip;
+    r.user_agent = "UA";
+    r.truth = i == 0 ? Truth::kUnknown
+                     : (i == 1 ? Truth::kBenign : Truth::kMalicious);
+    s.add(r);
+    sessions.push_back(std::move(s));
+  }
+  const auto data = build_session_dataset(sessions);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.positives(), 1u);
+}
+
+}  // namespace

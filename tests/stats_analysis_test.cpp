@@ -1,0 +1,275 @@
+// Tests for the analysis-side statistics: online moments, windows,
+// histograms, proportion intervals and the paired-rater association
+// measures the diversity framework is built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/association.hpp"
+#include "stats/histogram.hpp"
+#include "stats/intervals.hpp"
+#include "stats/running_stats.hpp"
+
+namespace {
+
+using divscrape::stats::cohens_kappa;
+using divscrape::stats::Counter;
+using divscrape::stats::disagreement;
+using divscrape::stats::Histogram;
+using divscrape::stats::mcnemar_test;
+using divscrape::stats::PairedCounts;
+using divscrape::stats::phi_coefficient;
+using divscrape::stats::q_statistic;
+using divscrape::stats::RunningStats;
+using divscrape::stats::shannon_entropy;
+using divscrape::stats::SlidingWindow;
+using divscrape::stats::wald_interval;
+using divscrape::stats::wilson_interval;
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.add(3.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  // Property: merging shard accumulators must equal accumulating the
+  // concatenated stream (the sharded pipeline relies on this).
+  RunningStats whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.01;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+  SlidingWindow w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(w.front(), 2.0);
+  EXPECT_DOUBLE_EQ(w.back(), 10.0);
+}
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindow(0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i % 100 + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Counter, CountsAndOrdering) {
+  Counter<int> c;
+  c.add(200, 10);
+  c.add(302, 3);
+  c.add(404);
+  c.add(200, 5);
+  EXPECT_EQ(c.count(200), 15u);
+  EXPECT_EQ(c.count(500), 0u);
+  EXPECT_EQ(c.total(), 19u);
+  EXPECT_EQ(c.distinct(), 3u);
+  const auto rows = c.by_count();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, 200);
+  EXPECT_EQ(rows[1].first, 302);
+  EXPECT_EQ(rows[2].first, 404);
+}
+
+TEST(Counter, ByCountBreaksTiesByKey) {
+  Counter<int> c;
+  c.add(500, 2);
+  c.add(204, 2);
+  const auto rows = c.by_count();
+  EXPECT_EQ(rows[0].first, 204);
+  EXPECT_EQ(rows[1].first, 500);
+}
+
+TEST(Counter, MergeAdds) {
+  Counter<std::string> a, b;
+  a.add("x", 1);
+  b.add("x", 2);
+  b.add("y", 3);
+  a.merge(b);
+  EXPECT_EQ(a.count("x"), 3u);
+  EXPECT_EQ(a.count("y"), 3u);
+}
+
+TEST(Entropy, UniformAndDegenerate) {
+  Counter<int> uniform;
+  for (int k = 0; k < 8; ++k) uniform.add(k, 5);
+  EXPECT_NEAR(shannon_entropy(uniform), 3.0, 1e-12);  // log2(8)
+
+  Counter<int> single;
+  single.add(1, 100);
+  EXPECT_DOUBLE_EQ(shannon_entropy(single), 0.0);
+
+  Counter<int> empty;
+  EXPECT_DOUBLE_EQ(shannon_entropy(empty), 0.0);
+}
+
+TEST(Wilson, KnownValue) {
+  // 8/10 successes, 95%: Wilson interval approx [0.490, 0.943].
+  const auto ci = wilson_interval(8, 10);
+  EXPECT_DOUBLE_EQ(ci.point, 0.8);
+  EXPECT_NEAR(ci.lo, 0.490, 0.005);
+  EXPECT_NEAR(ci.hi, 0.943, 0.005);
+}
+
+TEST(Wilson, ZeroTrials) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+}
+
+TEST(Wilson, ExtremesStayInUnitInterval) {
+  for (const std::uint64_t n : {1ull, 5ull, 100ull, 100000ull}) {
+    const auto lo = wilson_interval(0, n);
+    EXPECT_GE(lo.lo, 0.0);
+    EXPECT_GT(lo.hi, 0.0);  // never collapses to a point at the extreme
+    const auto hi = wilson_interval(n, n);
+    EXPECT_LT(hi.lo, 1.0);
+    EXPECT_LE(hi.hi, 1.0);
+  }
+}
+
+TEST(Wilson, NarrowerThanWaldNearExtremes) {
+  // At p-hat = 1 the Wald interval degenerates to [1, 1]; Wilson stays
+  // honest (nonzero width). This is why the reports use Wilson.
+  const auto wald = wald_interval(50, 50);
+  const auto wilson = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(wald.lo, 1.0);
+  EXPECT_LT(wilson.lo, 1.0);
+}
+
+TEST(Association, PerfectAgreement) {
+  const PairedCounts pc{50, 0, 0, 50};
+  EXPECT_DOUBLE_EQ(q_statistic(pc), 1.0);
+  EXPECT_DOUBLE_EQ(phi_coefficient(pc), 1.0);
+  EXPECT_DOUBLE_EQ(disagreement(pc), 0.0);
+  EXPECT_DOUBLE_EQ(cohens_kappa(pc), 1.0);
+}
+
+TEST(Association, PerfectDisagreement) {
+  const PairedCounts pc{0, 50, 50, 0};
+  EXPECT_DOUBLE_EQ(q_statistic(pc), -1.0);
+  EXPECT_DOUBLE_EQ(phi_coefficient(pc), -1.0);
+  EXPECT_DOUBLE_EQ(disagreement(pc), 1.0);
+  EXPECT_DOUBLE_EQ(cohens_kappa(pc), -1.0);
+}
+
+TEST(Association, IndependenceGivesZeroPhi) {
+  // Margins 0.5/0.5, independent: a=b=c=d.
+  const PairedCounts pc{25, 25, 25, 25};
+  EXPECT_DOUBLE_EQ(phi_coefficient(pc), 0.0);
+  EXPECT_DOUBLE_EQ(q_statistic(pc), 0.0);
+  EXPECT_DOUBLE_EQ(cohens_kappa(pc), 0.0);
+}
+
+TEST(Association, DegenerateTableIsZeroNotNan) {
+  const PairedCounts all_both{100, 0, 0, 0};
+  EXPECT_FALSE(std::isnan(phi_coefficient(all_both)));
+  EXPECT_FALSE(std::isnan(cohens_kappa(all_both)));
+  EXPECT_EQ(q_statistic(PairedCounts{}), 0.0);
+}
+
+TEST(Association, PaperTable2Values) {
+  // The actual published contingency: strong correlation, tiny
+  // disagreement, massively significant McNemar asymmetry.
+  const PairedCounts paper{1'231'408, 43'648, 9'305, 185'383};
+  EXPECT_GT(q_statistic(paper), 0.98);
+  EXPECT_GT(phi_coefficient(paper), 0.85);
+  EXPECT_NEAR(disagreement(paper), 0.036, 0.001);
+  const auto mc = mcnemar_test(paper);
+  EXPECT_GT(mc.statistic, 20'000.0);
+  EXPECT_LT(mc.p_value, 1e-12);
+}
+
+TEST(McNemar, SymmetricDiscordanceNotSignificant) {
+  const PairedCounts pc{100, 30, 30, 100};
+  const auto mc = mcnemar_test(pc);
+  EXPECT_NEAR(mc.statistic, 0.0, 0.02);
+  EXPECT_GT(mc.p_value, 0.8);
+}
+
+TEST(McNemar, NoDiscordance) {
+  const auto mc = mcnemar_test(PairedCounts{10, 0, 0, 10});
+  EXPECT_EQ(mc.discordant, 0u);
+  EXPECT_EQ(mc.p_value, 1.0);
+}
+
+TEST(ChiSquare1, KnownQuantiles) {
+  using divscrape::stats::chi_square1_sf;
+  EXPECT_NEAR(chi_square1_sf(3.841), 0.05, 0.002);
+  EXPECT_NEAR(chi_square1_sf(6.635), 0.01, 0.001);
+  EXPECT_EQ(chi_square1_sf(0.0), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Evasion-feature tests for ScraperBot (experiment E13's substrate).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "httplog/url.hpp"
+#include "httplog/useragent.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/scrapers.hpp"
+#include "traffic/site.hpp"
+
+namespace {
+
+using divscrape::httplog::Ipv4;
+using divscrape::httplog::LogRecord;
+using divscrape::httplog::Timestamp;
+using divscrape::traffic::ActorClass;
+using divscrape::traffic::BotProfile;
+using divscrape::traffic::ScraperBot;
+using divscrape::traffic::SiteModel;
+using divscrape::traffic::TrafficGenerator;
+
+struct BotRun {
+  std::vector<LogRecord> records;
+};
+
+BotRun run_bot(BotProfile profile, double days = 1.0,
+               std::uint64_t seed = 99) {
+  const Timestamp start = Timestamp::from_civil(2018, 3, 11);
+  const Timestamp end =
+      start + static_cast<std::int64_t>(days * divscrape::httplog::kMicrosPerDay);
+  SiteModel::Config site_config;
+  site_config.catalogue_size = 5000;
+  SiteModel site(site_config);
+  TrafficGenerator generator(end);
+  generator.add_actor(
+      std::make_unique<ScraperBot>(site, std::move(profile), end,
+                                   divscrape::stats::Rng(seed), 1),
+      start);
+  BotRun run;
+  LogRecord r;
+  while (generator.next(r)) run.records.push_back(r);
+  return run;
+}
+
+BotProfile base_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperAggressive;
+  profile.ip = Ipv4(45, 140, 0, 7);
+  profile.user_agent =
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+      "(KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36";
+  profile.gap_mean_s = 0.5;
+  profile.session_len_mean = 100;
+  profile.pause_mean_s = 3600;
+  return profile;
+}
+
+TEST(Evasion, BaselineBotFetchesNoAssets) {
+  const auto run = run_bot(base_profile(), 0.2);
+  ASSERT_FALSE(run.records.empty());
+  for (const auto& r : run.records) {
+    EXPECT_FALSE(divscrape::httplog::is_static_asset(r.path())) << r.target;
+    EXPECT_EQ(r.ip, Ipv4(45, 140, 0, 7));
+  }
+}
+
+TEST(Evasion, AssetMimicryInterleavesAssets) {
+  auto profile = base_profile();
+  profile.p_asset_mimicry = 0.9;
+  const auto run = run_bot(profile, 0.2);
+  std::uint64_t assets = 0;
+  for (const auto& r : run.records)
+    assets += divscrape::httplog::is_static_asset(r.path());
+  ASSERT_GT(run.records.size(), 50u);
+  // ~90% of offer fetches spawn one asset -> assets should be a large
+  // minority of the stream.
+  const double ratio = static_cast<double>(assets) /
+                       static_cast<double>(run.records.size());
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.55);
+}
+
+TEST(Evasion, UaRotationChangesPerSessionOnly) {
+  auto profile = base_profile();
+  profile.rotate_ua_per_session = true;
+  profile.session_len_mean = 50;
+  profile.pause_mean_s = 1800;
+  const auto run = run_bot(profile, 1.0);
+  std::set<std::string> uas;
+  for (const auto& r : run.records) {
+    uas.insert(r.user_agent);
+    // Whatever it rotates to is always a plausible browser.
+    EXPECT_EQ(divscrape::httplog::classify_user_agent(r.user_agent).family,
+              divscrape::httplog::UaFamily::kBrowser);
+  }
+  EXPECT_GT(uas.size(), 1u);
+  // Far fewer distinct UAs than records: rotation is per session.
+  EXPECT_LT(uas.size(), run.records.size() / 10);
+}
+
+TEST(Evasion, IpRotationLeavesCampaignRange) {
+  auto profile = base_profile();
+  profile.rotate_ip_per_session = true;
+  profile.session_len_mean = 50;
+  profile.pause_mean_s = 1800;
+  const auto run = run_bot(profile, 1.0);
+  std::set<std::uint32_t> ips;
+  for (const auto& r : run.records) {
+    ips.insert(r.ip.value());
+    // Rotation addresses avoid the flagged campaign /8 neighbourhood.
+    EXPECT_NE(r.ip.value() >> 24, 45u) << r.ip.to_string();
+  }
+  EXPECT_GT(ips.size(), 1u);
+}
+
+TEST(Evasion, TruthLabelSurvivesEvasion) {
+  auto profile = base_profile();
+  profile.p_asset_mimicry = 0.9;
+  profile.rotate_ua_per_session = true;
+  profile.rotate_ip_per_session = true;
+  const auto run = run_bot(profile, 0.3);
+  for (const auto& r : run.records) {
+    EXPECT_EQ(r.truth, divscrape::httplog::Truth::kMalicious);
+    EXPECT_EQ(r.actor_class,
+              static_cast<std::uint8_t>(ActorClass::kScraperAggressive));
+  }
+}
+
+TEST(Evasion, DeterministicUnderRotation) {
+  auto profile = base_profile();
+  profile.rotate_ip_per_session = true;
+  profile.rotate_ua_per_session = true;
+  const auto a = run_bot(profile, 0.3, 5);
+  const auto b = run_bot(profile, 0.3, 5);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].ip, b.records[i].ip);
+    EXPECT_EQ(a.records[i].target, b.records[i].target);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Traffic-simulator tests: generator ordering and determinism, actor
+// behavioural properties, scenario population structure, and wire-format
+// compatibility of everything the simulator emits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "httplog/clf.hpp"
+#include "httplog/url.hpp"
+#include "httplog/useragent.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/scenario.hpp"
+
+namespace {
+
+using divscrape::httplog::LogRecord;
+using divscrape::httplog::parse_clf;
+using divscrape::httplog::Timestamp;
+using divscrape::httplog::Truth;
+using divscrape::traffic::ActorClass;
+using divscrape::traffic::amadeus_like;
+using divscrape::traffic::Scenario;
+using divscrape::traffic::ScenarioConfig;
+using divscrape::traffic::smoke_test;
+
+std::vector<LogRecord> drain(Scenario& scenario) {
+  std::vector<LogRecord> out;
+  LogRecord r;
+  while (scenario.next(r)) out.push_back(r);
+  return out;
+}
+
+TEST(Generator, RecordsAreTimeOrdered) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  Timestamp last(INT64_MIN);
+  std::uint64_t count = 0;
+  while (scenario.next(r)) {
+    ASSERT_GE(r.time, last) << "record " << count << " out of order";
+    last = r.time;
+    ++count;
+  }
+  EXPECT_GT(count, 100u);
+}
+
+TEST(Generator, RespectsEndTime) {
+  const auto config = smoke_test();
+  Scenario scenario(config);
+  LogRecord r;
+  while (scenario.next(r)) {
+    EXPECT_LT(r.time, config.end());
+    EXPECT_GE(r.time, config.start);
+  }
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  Scenario a(smoke_test()), b(smoke_test());
+  const auto ra = drain(a);
+  const auto rb = drain(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].time, rb[i].time);
+    EXPECT_EQ(ra[i].ip, rb[i].ip);
+    EXPECT_EQ(ra[i].target, rb[i].target);
+    EXPECT_EQ(ra[i].status, rb[i].status);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  auto config = smoke_test();
+  Scenario a(config);
+  config.seed = 999;
+  Scenario b(config);
+  const auto ra = drain(a);
+  const auto rb = drain(b);
+  // Same populations, different randomness: sizes close but streams differ.
+  bool any_difference = ra.size() != rb.size();
+  for (std::size_t i = 0; !any_difference && i < std::min(ra.size(), rb.size());
+       ++i) {
+    any_difference = ra[i].target != rb[i].target || ra[i].ip != rb[i].ip;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Scenario, AllActorClassesPresent) {
+  Scenario scenario(smoke_test());
+  std::set<std::uint8_t> classes;
+  LogRecord r;
+  while (scenario.next(r)) classes.insert(r.actor_class);
+  for (const auto cls :
+       {ActorClass::kHuman, ActorClass::kSearchCrawler, ActorClass::kMonitor,
+        ActorClass::kScraperAggressive, ActorClass::kScraperApi}) {
+    EXPECT_TRUE(classes.contains(static_cast<std::uint8_t>(cls)))
+        << to_string(cls);
+  }
+}
+
+TEST(Scenario, TruthMatchesActorClass) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  while (scenario.next(r)) {
+    const auto cls = static_cast<ActorClass>(r.actor_class);
+    EXPECT_EQ(r.truth, divscrape::traffic::truth_of(cls));
+    EXPECT_NE(r.truth, Truth::kUnknown);
+  }
+}
+
+TEST(Scenario, EveryRecordSurvivesClfRoundTrip) {
+  // Wire-format property: everything the simulator emits must be valid CLF.
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  std::uint64_t count = 0;
+  while (scenario.next(r)) {
+    const auto parsed = parse_clf(divscrape::httplog::format_clf(r));
+    ASSERT_TRUE(parsed.ok())
+        << divscrape::httplog::format_clf(r) << " -> "
+        << to_string(parsed.error);
+    EXPECT_EQ(parsed.record->target, r.target);
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST(Scenario, HumansFetchAssetsAndCarryReferers) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  std::uint64_t human_requests = 0, human_assets = 0, human_referers = 0;
+  while (scenario.next(r)) {
+    if (r.actor_class != static_cast<std::uint8_t>(ActorClass::kHuman))
+      continue;
+    ++human_requests;
+    human_assets += divscrape::httplog::is_static_asset(r.path());
+    human_referers += r.referer != "-";
+  }
+  ASSERT_GT(human_requests, 50u);
+  EXPECT_GT(static_cast<double>(human_assets) /
+                static_cast<double>(human_requests),
+            0.15);
+  EXPECT_GT(static_cast<double>(human_referers) /
+                static_cast<double>(human_requests),
+            0.5);
+}
+
+TEST(Scenario, AggressiveScrapersAreFastAndAssetFree) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  std::map<std::uint32_t, std::uint64_t> per_bot;
+  std::uint64_t assets = 0, total = 0;
+  while (scenario.next(r)) {
+    if (r.actor_class !=
+        static_cast<std::uint8_t>(ActorClass::kScraperAggressive))
+      continue;
+    ++total;
+    ++per_bot[r.actor_id];
+    assets += divscrape::httplog::is_static_asset(r.path());
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_EQ(assets, 0u);
+}
+
+TEST(Scenario, ScrapersComeFromCampaignSubnets) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  std::uint64_t fleet = 0, in_subnet = 0;
+  while (scenario.next(r)) {
+    if (r.actor_class !=
+        static_cast<std::uint8_t>(ActorClass::kScraperAggressive))
+      continue;
+    ++fleet;
+    // Campaign space is 45.140.0.0/15-ish (45.140 + campaign).
+    in_subnet += (r.ip.value() >> 24) == 45;
+  }
+  ASSERT_GT(fleet, 0u);
+  EXPECT_EQ(fleet, in_subnet);
+}
+
+TEST(Scenario, CrawlerDeclaresItselfAndFetchesRobots) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  bool robots_seen = false;
+  std::uint64_t crawler_requests = 0;
+  while (scenario.next(r)) {
+    if (r.actor_class !=
+        static_cast<std::uint8_t>(ActorClass::kSearchCrawler))
+      continue;
+    ++crawler_requests;
+    robots_seen = robots_seen || r.path() == "/robots.txt";
+    EXPECT_TRUE(
+        divscrape::httplog::classify_user_agent(r.user_agent).declared_bot);
+  }
+  ASSERT_GT(crawler_requests, 0u);
+  EXPECT_TRUE(robots_seen);
+}
+
+TEST(Scenario, MalformedBotsProduce400s) {
+  auto config = smoke_test();
+  config.duration_days = 0.25;
+  Scenario scenario(config);
+  LogRecord r;
+  std::uint64_t malformed_400 = 0;
+  while (scenario.next(r)) {
+    if (r.actor_class ==
+            static_cast<std::uint8_t>(ActorClass::kScraperMalformed) &&
+        r.status == 400)
+      ++malformed_400;
+  }
+  EXPECT_GT(malformed_400, 0u);
+}
+
+TEST(Scenario, ScaleControlsVolume) {
+  auto small = amadeus_like(0.01);
+  small.duration_days = 0.5;
+  auto big = amadeus_like(0.05);
+  big.duration_days = 0.5;
+  Scenario s(small), b(big);
+  const auto rs = drain(s);
+  const auto rb = drain(b);
+  EXPECT_GT(rb.size(), rs.size());
+}
+
+TEST(Scenario, StatusMixIsDominatedBy200) {
+  Scenario scenario(smoke_test());
+  LogRecord r;
+  std::uint64_t total = 0, ok = 0;
+  while (scenario.next(r)) {
+    ++total;
+    ok += r.status == 200;
+  }
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(total), 0.8);
+}
+
+TEST(Scenario, DiurnalModulationVariesHumanRate) {
+  auto config = amadeus_like(0.2);
+  config.duration_days = 1.0;
+  Scenario scenario(config);
+  LogRecord r;
+  std::map<int, std::uint64_t> per_hour;
+  while (scenario.next(r)) {
+    if (r.actor_class != static_cast<std::uint8_t>(ActorClass::kHuman))
+      continue;
+    const auto hour = static_cast<int>(
+        (r.time - config.start) / divscrape::httplog::kMicrosPerHour);
+    ++per_hour[hour];
+  }
+  ASSERT_FALSE(per_hour.empty());
+  std::uint64_t min_h = UINT64_MAX, max_h = 0;
+  for (const auto& [h, n] : per_hour) {
+    min_h = std::min(min_h, n);
+    max_h = std::max(max_h, n);
+  }
+  EXPECT_GT(max_h, min_h * 2) << "diurnal variation missing";
+}
+
+}  // namespace

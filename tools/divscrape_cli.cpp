@@ -1,0 +1,300 @@
+// divscrape — command-line front end to the library.
+//
+//   divscrape generate  [opts]   write a simulated CLF access log to stdout
+//   divscrape analyze   <log>    run the two detectors over a CLF file
+//   divscrape tables    [opts]   regenerate the paper's four tables
+//   divscrape export    [opts]   run the experiment, emit JSON results
+//   divscrape label     <log>    heuristically label a CLF file (paper §V)
+//
+// Common options:
+//   --config <file>     key=value config (see core/config.hpp header)
+//   --set k=v           inline override (repeatable)
+//   --scale <s>         shorthand for --set scenario.scale=s
+//   --alerts <file>     (analyze) also write a JSONL alert log
+//   --csv <prefix>      (export) also write <prefix>_{totals,pairs,status}.csv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/export.hpp"
+#include "core/labeling.hpp"
+#include "core/paper_reference.hpp"
+#include "core/report.hpp"
+#include "core/timeseries.hpp"
+#include "detectors/arcane.hpp"
+#include "detectors/sentinel.hpp"
+#include "httplog/io.hpp"
+#include "pipeline/alert_log.hpp"
+#include "traffic/scenario.hpp"
+
+using namespace divscrape;
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string input;
+  std::string alerts_path;
+  std::string csv_prefix;
+  core::KeyValueConfig config;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: divscrape <generate|analyze|tables|export|label> [options]\n"
+      "  --config <file>   load key=value configuration\n"
+      "  --set k=v         inline config override (repeatable)\n"
+      "  --scale <s>       scenario scale in (0,1]\n"
+      "  --alerts <file>   (analyze) write JSONL alert log\n"
+      "  --csv <prefix>    (export) also write CSV files\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--config") {
+      const char* path = next();
+      if (!path) return false;
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open config %s\n", path);
+        return false;
+      }
+      if (!opts.config.parse(in)) {
+        for (const auto& e : opts.config.errors())
+          std::fprintf(stderr, "config: %s\n", e.c_str());
+        return false;
+      }
+    } else if (arg == "--set") {
+      const char* kv = next();
+      if (!kv) return false;
+      const std::string text = kv;
+      const auto eq = text.find('=');
+      if (eq == std::string::npos) return false;
+      opts.config.set(text.substr(0, eq), text.substr(eq + 1));
+    } else if (arg == "--scale") {
+      const char* s = next();
+      if (!s) return false;
+      opts.config.set("scenario.scale", s);
+    } else if (arg == "--alerts") {
+      const char* path = next();
+      if (!path) return false;
+      opts.alerts_path = path;
+    } else if (arg == "--csv") {
+      const char* prefix = next();
+      if (!prefix) return false;
+      opts.csv_prefix = prefix;
+    } else if (!arg.empty() && arg[0] != '-' && opts.input.empty()) {
+      opts.input = arg;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+traffic::ScenarioConfig scenario_from(const core::KeyValueConfig& config) {
+  auto scenario = traffic::amadeus_like(1.0);
+  core::apply_scenario_config(config, scenario);
+  return scenario;
+}
+
+std::vector<std::unique_ptr<detectors::Detector>> pair_from(
+    const core::KeyValueConfig& config) {
+  detectors::SentinelConfig sc;
+  detectors::ArcaneConfig ac;
+  core::apply_sentinel_config(config, sc);
+  core::apply_arcane_config(config, ac);
+  std::vector<std::unique_ptr<detectors::Detector>> pool;
+  pool.push_back(std::make_unique<detectors::SentinelDetector>(sc));
+  pool.push_back(std::make_unique<detectors::ArcaneDetector>(ac));
+  return pool;
+}
+
+int cmd_generate(const CliOptions& opts) {
+  traffic::Scenario scenario(scenario_from(opts.config));
+  httplog::LogWriter writer(std::cout);
+  httplog::LogRecord record;
+  while (scenario.next(record)) writer.write(record);
+  std::fprintf(stderr, "generated %llu records\n",
+               static_cast<unsigned long long>(writer.lines_written()));
+  return 0;
+}
+
+int cmd_analyze(const CliOptions& opts) {
+  if (opts.input.empty()) {
+    std::fprintf(stderr, "analyze: missing <log> path\n");
+    return 2;
+  }
+  std::ifstream in(opts.input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opts.input.c_str());
+    return 1;
+  }
+  const auto pool = pair_from(opts.config);
+  core::AlertJoiner joiner(pool);
+
+  std::ofstream alerts_file;
+  std::unique_ptr<pipeline::AlertLogWriter> alerts;
+  if (!opts.alerts_path.empty()) {
+    alerts_file.open(opts.alerts_path);
+    if (!alerts_file) {
+      std::fprintf(stderr, "cannot open %s\n", opts.alerts_path.c_str());
+      return 1;
+    }
+    alerts = std::make_unique<pipeline::AlertLogWriter>(alerts_file);
+  }
+
+  httplog::LogReader reader(in);
+  httplog::LogRecord record;
+  while (reader.next(record)) {
+    const auto verdicts = joiner.process(record);
+    if (alerts) {
+      for (std::size_t d = 0; d < pool.size(); ++d) {
+        alerts->write(pool[d]->name(), record, verdicts[d]);
+      }
+    }
+  }
+  const auto& r = joiner.results();
+  std::printf("parsed %s records (%s lines skipped)\n",
+              core::with_thousands(r.total_requests()).c_str(),
+              core::with_thousands(reader.lines_skipped()).c_str());
+  for (std::size_t d = 0; d < r.detector_count(); ++d) {
+    std::printf("  %-10s alerts %s\n", r.names()[d].c_str(),
+                core::with_thousands(r.alerts(d)).c_str());
+  }
+  const auto& pair = r.pair(0, 1);
+  std::printf(
+      "  both %s | neither %s | sentinel-only %s | arcane-only %s\n",
+      core::with_thousands(pair.both()).c_str(),
+      core::with_thousands(pair.neither()).c_str(),
+      core::with_thousands(pair.first_only()).c_str(),
+      core::with_thousands(pair.second_only()).c_str());
+  if (alerts) {
+    std::printf("wrote %s alert events to %s\n",
+                core::with_thousands(alerts->written()).c_str(),
+                opts.alerts_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_tables(const CliOptions& opts) {
+  core::ExperimentConfig config;
+  config.scenario = scenario_from(opts.config);
+  const auto pool = pair_from(opts.config);
+  const auto out = core::run_experiment(config, pool);
+  const auto& r = out.results;
+  const auto& pair = r.pair(0, 1);
+
+  std::printf("Table 1\n");
+  std::printf("  total    %12s (paper %s)\n",
+              core::with_thousands(r.total_requests()).c_str(),
+              core::with_thousands(core::paper::kTotalRequests).c_str());
+  std::printf("  sentinel %12s (paper %s)\n",
+              core::with_thousands(r.alerts(0)).c_str(),
+              core::with_thousands(core::paper::kDistilAlerts).c_str());
+  std::printf("  arcane   %12s (paper %s)\n",
+              core::with_thousands(r.alerts(1)).c_str(),
+              core::with_thousands(core::paper::kArcaneAlerts).c_str());
+  std::printf("Table 2\n");
+  std::printf("  both %s | neither %s | arcane-only %s | sentinel-only %s\n",
+              core::with_thousands(pair.both()).c_str(),
+              core::with_thousands(pair.neither()).c_str(),
+              core::with_thousands(pair.second_only()).c_str(),
+              core::with_thousands(pair.first_only()).c_str());
+  std::printf("Tables 3/4 (status: alerted / unique)\n");
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::printf("  %s:\n", r.names()[d].c_str());
+    for (const auto& [status, count] : r.alerted_status(d).by_count()) {
+      std::printf("    %-28s %10s %10s\n",
+                  httplog::status_label(status).c_str(),
+                  core::with_thousands(count).c_str(),
+                  core::with_thousands(
+                      r.unique_alert_status(d).count(status))
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_export(const CliOptions& opts) {
+  core::ExperimentConfig config;
+  config.scenario = scenario_from(opts.config);
+  const auto pool = pair_from(opts.config);
+  const auto out = core::run_experiment(config, pool);
+  core::export_json(out.results, std::cout);
+  std::cout << '\n';
+  if (!opts.csv_prefix.empty()) {
+    {
+      std::ofstream f(opts.csv_prefix + "_totals.csv");
+      core::export_totals_csv(out.results, f);
+    }
+    {
+      std::ofstream f(opts.csv_prefix + "_pairs.csv");
+      core::export_pairs_csv(out.results, f);
+    }
+    {
+      std::ofstream f(opts.csv_prefix + "_status.csv");
+      core::export_status_csv(out.results, f);
+    }
+    std::fprintf(stderr, "wrote %s_{totals,pairs,status}.csv\n",
+                 opts.csv_prefix.c_str());
+  }
+  return 0;
+}
+
+int cmd_label(const CliOptions& opts) {
+  if (opts.input.empty()) {
+    std::fprintf(stderr, "label: missing <log> path\n");
+    return 2;
+  }
+  std::ifstream in(opts.input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opts.input.c_str());
+    return 1;
+  }
+  auto records = httplog::read_all(in);
+  core::HeuristicLabeler labeler;
+  const auto result = labeler.label(records);
+  std::fprintf(stderr,
+               "labelled %llu records: %llu malicious, %llu benign, %llu "
+               "unknown (coverage %.1f%%)\n",
+               static_cast<unsigned long long>(result.records),
+               static_cast<unsigned long long>(result.labeled_malicious),
+               static_cast<unsigned long long>(result.labeled_benign),
+               static_cast<unsigned long long>(result.left_unknown),
+               result.coverage() * 100.0);
+  // Emit "<truth>\t<clf line>" so downstream tooling can join.
+  for (const auto& record : records) {
+    std::cout << to_string(record.truth) << '\t'
+              << httplog::format_clf(record) << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) return usage();
+  if (opts.command == "generate") return cmd_generate(opts);
+  if (opts.command == "analyze") return cmd_analyze(opts);
+  if (opts.command == "tables") return cmd_tables(opts);
+  if (opts.command == "export") return cmd_export(opts);
+  if (opts.command == "label") return cmd_label(opts);
+  return usage();
+}
