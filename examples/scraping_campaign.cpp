@@ -62,10 +62,10 @@ int main() {
       ++h.fleet;
       h.fleet_sentinel += verdicts[0].alert;
       h.fleet_arcane += verdicts[1].alert;
-      if (!first_seen.contains(record.actor_id))
+      if (first_seen.count(record.actor_id) == 0)
         first_seen[record.actor_id] = record.time;
       if ((verdicts[0].alert || verdicts[1].alert) &&
-          !first_caught.contains(record.actor_id))
+          first_caught.count(record.actor_id) == 0)
         first_caught[record.actor_id] = record.time;
     } else {
       ++h.benign;

@@ -28,7 +28,7 @@ WeightedVote WeightedVote::k_of_n(std::size_t n, std::size_t k) {
 }
 
 bool WeightedVote::decide(
-    std::span<const detectors::Verdict> verdicts) const {
+    divscrape::span<const detectors::Verdict> verdicts) const {
   double sum = 0.0;
   const std::size_t n = std::min(weights_.size(), verdicts.size());
   for (std::size_t i = 0; i < n; ++i) {
@@ -38,7 +38,7 @@ bool WeightedVote::decide(
 }
 
 double WeightedVote::soft_score(
-    std::span<const detectors::Verdict> verdicts) const {
+    divscrape::span<const detectors::Verdict> verdicts) const {
   double sum = 0.0;
   const std::size_t n = std::min(weights_.size(), verdicts.size());
   for (std::size_t i = 0; i < n; ++i) {
@@ -48,7 +48,7 @@ double WeightedVote::soft_score(
 }
 
 std::vector<double> accuracy_weights(
-    std::span<const ConfusionMatrix> matrices) {
+    divscrape::span<const ConfusionMatrix> matrices) {
   std::vector<double> weights;
   weights.reserve(matrices.size());
   for (const auto& cm : matrices) {
@@ -69,7 +69,7 @@ AdjudicationSweep::AdjudicationSweep(std::vector<Policy> policies)
 }
 
 void AdjudicationSweep::observe(
-    httplog::Truth truth, std::span<const detectors::Verdict> verdicts) {
+    httplog::Truth truth, divscrape::span<const detectors::Verdict> verdicts) {
   for (std::size_t p = 0; p < policies_.size(); ++p) {
     confusions_[p].observe(truth, policies_[p].vote.decide(verdicts));
   }

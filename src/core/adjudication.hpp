@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "util/span.hpp"
 #include <string>
 #include <vector>
 
@@ -24,12 +24,12 @@ class WeightedVote {
   static WeightedVote k_of_n(std::size_t n, std::size_t k);
 
   [[nodiscard]] bool decide(
-      std::span<const detectors::Verdict> verdicts) const;
+      divscrape::span<const detectors::Verdict> verdicts) const;
 
   /// Weighted mean of the verdict *scores* (soft vote), in [0, 1] when
   /// scores are.
   [[nodiscard]] double soft_score(
-      std::span<const detectors::Verdict> verdicts) const;
+      divscrape::span<const detectors::Verdict> verdicts) const;
 
   [[nodiscard]] const std::vector<double>& weights() const noexcept {
     return weights_;
@@ -48,7 +48,7 @@ class WeightedVote {
 /// monotonically more say). Negative weights (worse than chance) are
 /// clamped to 0.
 [[nodiscard]] std::vector<double> accuracy_weights(
-    std::span<const ConfusionMatrix> matrices);
+    divscrape::span<const ConfusionMatrix> matrices);
 
 /// Streaming evaluation of many adjudication policies at once.
 class AdjudicationSweep {
@@ -61,7 +61,7 @@ class AdjudicationSweep {
   explicit AdjudicationSweep(std::vector<Policy> policies);
 
   void observe(httplog::Truth truth,
-               std::span<const detectors::Verdict> verdicts);
+               divscrape::span<const detectors::Verdict> verdicts);
 
   [[nodiscard]] const std::vector<Policy>& policies() const noexcept {
     return policies_;

@@ -47,7 +47,7 @@ std::uint64_t JointResults::truth_count(httplog::Truth t) const {
 }
 
 void JointResults::observe(const httplog::LogRecord& record,
-                           std::span<const detectors::Verdict> verdicts) {
+                           divscrape::span<const detectors::Verdict> verdicts) {
   const std::size_t n = names_.size();
   ++total_;
   if (record.truth == httplog::Truth::kBenign) ++truth_benign_;
@@ -118,7 +118,7 @@ void JointResults::merge(const JointResults& other) {
 namespace {
 
 std::vector<std::string> pool_names(
-    std::span<detectors::Detector* const> pool) {
+    divscrape::span<detectors::Detector* const> pool) {
   std::vector<std::string> names;
   names.reserve(pool.size());
   for (const auto* d : pool) names.emplace_back(d->name());
@@ -135,7 +135,7 @@ std::vector<detectors::Detector*> raw_pointers(
 
 }  // namespace
 
-AlertJoiner::AlertJoiner(std::span<detectors::Detector* const> pool)
+AlertJoiner::AlertJoiner(divscrape::span<detectors::Detector* const> pool)
     : pool_(pool.begin(), pool.end()),
       scratch_(pool_.size()),
       results_(pool_names(pool)) {}
@@ -146,7 +146,7 @@ AlertJoiner::AlertJoiner(
       scratch_(pool_.size()),
       results_(pool_names(pool_)) {}
 
-std::span<const detectors::Verdict> AlertJoiner::process(
+divscrape::span<const detectors::Verdict> AlertJoiner::process(
     const httplog::LogRecord& record) {
   for (std::size_t i = 0; i < pool_.size(); ++i) {
     scratch_[i] = pool_[i]->evaluate(record);

@@ -16,7 +16,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <span>
+#include "util/span.hpp"
 #include <string>
 #include <vector>
 
@@ -92,7 +92,7 @@ class JointResults {
 
   /// Folds one joint verdict vector in.
   void observe(const httplog::LogRecord& record,
-               std::span<const detectors::Verdict> verdicts);
+               divscrape::span<const detectors::Verdict> verdicts);
 
   /// Merges a shard's results (same pool order required).
   void merge(const JointResults& other);
@@ -120,14 +120,14 @@ class JointResults {
 class AlertJoiner {
  public:
   /// Non-owning view of the pool; detectors must outlive the joiner.
-  explicit AlertJoiner(std::span<detectors::Detector* const> pool);
+  explicit AlertJoiner(divscrape::span<detectors::Detector* const> pool);
   /// Convenience overload for owning pools.
   explicit AlertJoiner(
       const std::vector<std::unique_ptr<detectors::Detector>>& pool);
 
   /// Evaluates every detector on the record and folds the joint verdict
   /// into the results. Returns the verdict vector (valid until next call).
-  std::span<const detectors::Verdict> process(
+  divscrape::span<const detectors::Verdict> process(
       const httplog::LogRecord& record);
 
   [[nodiscard]] const JointResults& results() const noexcept {

@@ -20,7 +20,7 @@ TimeSeriesCollector::TimeSeriesCollector(std::size_t detector_count,
 
 void TimeSeriesCollector::observe(
     const httplog::LogRecord& record,
-    std::span<const detectors::Verdict> verdicts) {
+    divscrape::span<const detectors::Verdict> verdicts) {
   const auto delta = record.time - origin_;
   if (delta < 0) return;  // before the observation window
   const auto idx = static_cast<std::size_t>(
@@ -51,7 +51,7 @@ std::size_t TimeSeriesCollector::peak_bucket() const noexcept {
 }
 
 void TimeSeriesCollector::print(std::ostream& os,
-                                std::span<const std::string> names,
+                                divscrape::span<const std::string> names,
                                 std::size_t stride) const {
   if (stride == 0) stride = 1;
   char line[256];
@@ -95,7 +95,7 @@ void TimeSeriesCollector::print(std::ostream& os,
 }
 
 void TimeSeriesCollector::export_csv(
-    std::ostream& os, std::span<const std::string> names) const {
+    std::ostream& os, divscrape::span<const std::string> names) const {
   os << "bucket_start,requests,malicious";
   for (const auto& name : names) os << ',' << name;
   os << '\n';

@@ -6,7 +6,7 @@
 
 #include <cstdint>
 #include <ostream>
-#include <span>
+#include "util/span.hpp"
 #include <vector>
 
 #include "detectors/detector.hpp"
@@ -29,7 +29,7 @@ class TimeSeriesCollector {
                       double bucket_width_s = 3600.0);
 
   void observe(const httplog::LogRecord& record,
-               std::span<const detectors::Verdict> verdicts);
+               divscrape::span<const detectors::Verdict> verdicts);
 
   [[nodiscard]] const std::vector<TimeBucket>& buckets() const noexcept {
     return buckets_;
@@ -43,12 +43,12 @@ class TimeSeriesCollector {
   /// Renders an ASCII sparkline-style table: one row per bucket with
   /// request volume and per-detector alert rates. `stride` merges display
   /// rows (e.g. 24 = daily rows over hourly buckets).
-  void print(std::ostream& os, std::span<const std::string> names,
+  void print(std::ostream& os, divscrape::span<const std::string> names,
              std::size_t stride = 1) const;
 
   /// CSV long form: bucket_start_iso,requests,malicious,<name> columns.
   void export_csv(std::ostream& os,
-                  std::span<const std::string> names) const;
+                  divscrape::span<const std::string> names) const;
 
  private:
   std::size_t detector_count_;

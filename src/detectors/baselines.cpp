@@ -48,7 +48,7 @@ Verdict TrapDetector::evaluate(const httplog::LogRecord& record) {
     trapped_.insert(record.ip);
     return {true, 1.0, AlertReason::kTrap};
   }
-  if (trapped_.contains(record.ip)) {
+  if (trapped_.count(record.ip) != 0) {
     return {true, 0.9, AlertReason::kTrap};
   }
   return {false, 0.0, AlertReason::kNone};

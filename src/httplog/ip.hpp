@@ -37,7 +37,24 @@ class Ipv4 {
   /// Dotted-quad "a.b.c.d".
   [[nodiscard]] std::string to_string() const;
 
-  friend constexpr auto operator<=>(Ipv4, Ipv4) noexcept = default;
+  friend constexpr bool operator==(Ipv4 a, Ipv4 b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Ipv4 a, Ipv4 b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Ipv4 a, Ipv4 b) noexcept {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(Ipv4 a, Ipv4 b) noexcept {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>(Ipv4 a, Ipv4 b) noexcept {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator>=(Ipv4 a, Ipv4 b) noexcept {
+    return a.value_ >= b.value_;
+  }
 
  private:
   std::uint32_t value_ = 0;

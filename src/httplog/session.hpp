@@ -26,7 +26,12 @@ struct SessionKey {
   Ipv4 ip;
   std::string user_agent;
 
-  friend bool operator==(const SessionKey&, const SessionKey&) = default;
+  friend bool operator==(const SessionKey& a, const SessionKey& b) {
+    return a.ip == b.ip && a.user_agent == b.user_agent;
+  }
+  friend bool operator!=(const SessionKey& a, const SessionKey& b) {
+    return !(a == b);
+  }
 };
 
 struct SessionKeyHash {

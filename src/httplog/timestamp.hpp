@@ -42,7 +42,24 @@ class Timestamp {
   /// ISO-8601 "2018-03-11T06:25:24Z" (second resolution), for reports.
   [[nodiscard]] std::string to_iso8601() const;
 
-  friend constexpr auto operator<=>(Timestamp, Timestamp) noexcept = default;
+  friend constexpr bool operator==(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ == b.micros_;
+  }
+  friend constexpr bool operator!=(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ != b.micros_;
+  }
+  friend constexpr bool operator<(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ < b.micros_;
+  }
+  friend constexpr bool operator<=(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ <= b.micros_;
+  }
+  friend constexpr bool operator>(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ > b.micros_;
+  }
+  friend constexpr bool operator>=(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ >= b.micros_;
+  }
 
   constexpr Timestamp operator+(std::int64_t delta_micros) const noexcept {
     return Timestamp{micros_ + delta_micros};

@@ -6,7 +6,7 @@
 #pragma once
 
 #include <cstddef>
-#include <span>
+#include "util/span.hpp"
 #include <string>
 #include <vector>
 
@@ -79,9 +79,9 @@ class Classifier {
   virtual ~Classifier() = default;
   /// Probability-like score in [0, 1] that the sample is positive.
   [[nodiscard]] virtual double score(
-      std::span<const double> features) const = 0;
+      divscrape::span<const double> features) const = 0;
   /// Hard decision at the 0.5 operating point.
-  [[nodiscard]] int predict(std::span<const double> features) const {
+  [[nodiscard]] int predict(divscrape::span<const double> features) const {
     return score(features) >= 0.5 ? 1 : 0;
   }
 };

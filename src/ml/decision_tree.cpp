@@ -104,7 +104,7 @@ std::size_t DecisionTree::build(const Dataset& data,
   return node_idx;
 }
 
-double DecisionTree::score(std::span<const double> features) const {
+double DecisionTree::score(divscrape::span<const double> features) const {
   if (nodes_.empty()) return 0.0;
   std::size_t idx = 0;
   for (;;) {

@@ -24,7 +24,7 @@ class DecisionTree final : public Classifier {
   static DecisionTree train(const Dataset& data,
                             const TreeParams& params = TreeParams{});
 
-  [[nodiscard]] double score(std::span<const double> features) const override;
+  [[nodiscard]] double score(divscrape::span<const double> features) const override;
 
   /// Number of nodes (diagnostics / tests).
   [[nodiscard]] std::size_t node_count() const noexcept {

@@ -74,7 +74,7 @@ LogisticRegression LogisticRegression::train(const Dataset& data,
   return model;
 }
 
-double LogisticRegression::score(std::span<const double> features) const {
+double LogisticRegression::score(divscrape::span<const double> features) const {
   std::vector<double> x(features.begin(), features.end());
   if (standardize_) standardization_.apply(x);
   double z = bias_;

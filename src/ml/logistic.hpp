@@ -25,7 +25,7 @@ class LogisticRegression final : public Classifier {
   static LogisticRegression train(const Dataset& data,
                                   const LogisticParams& params = LogisticParams{});
 
-  [[nodiscard]] double score(std::span<const double> features) const override;
+  [[nodiscard]] double score(divscrape::span<const double> features) const override;
 
   [[nodiscard]] const std::vector<double>& weights() const noexcept {
     return weights_;

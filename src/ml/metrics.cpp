@@ -48,8 +48,8 @@ void MetricsAccumulator::merge(const MetricsAccumulator& other) noexcept {
   m_.fn += other.m_.fn;
 }
 
-std::vector<RocPoint> roc_curve(std::span<const double> scores,
-                                std::span<const int> labels) {
+std::vector<RocPoint> roc_curve(divscrape::span<const double> scores,
+                                divscrape::span<const int> labels) {
   const std::size_t n = std::min(scores.size(), labels.size());
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -77,7 +77,7 @@ std::vector<RocPoint> roc_curve(std::span<const double> scores,
   return curve;
 }
 
-double auc(std::span<const double> scores, std::span<const int> labels) {
+double auc(divscrape::span<const double> scores, divscrape::span<const int> labels) {
   const auto curve = roc_curve(scores, labels);
   double area = 0.0;
   for (std::size_t i = 1; i < curve.size(); ++i) {

@@ -2,7 +2,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "util/span.hpp"
 #include <vector>
 
 namespace divscrape::ml {
@@ -45,11 +45,11 @@ struct RocPoint {
 };
 
 /// ROC curve from scores; points are sorted by descending threshold.
-[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const double> scores,
-                                              std::span<const int> labels);
+[[nodiscard]] std::vector<RocPoint> roc_curve(divscrape::span<const double> scores,
+                                              divscrape::span<const int> labels);
 
 /// Area under the ROC curve via the rank statistic (handles ties).
-[[nodiscard]] double auc(std::span<const double> scores,
-                         std::span<const int> labels);
+[[nodiscard]] double auc(divscrape::span<const double> scores,
+                         divscrape::span<const int> labels);
 
 }  // namespace divscrape::ml

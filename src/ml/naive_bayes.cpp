@@ -43,7 +43,7 @@ NaiveBayes NaiveBayes::train(const Dataset& data, double variance_floor) {
   return model;
 }
 
-double NaiveBayes::score(std::span<const double> features) const {
+double NaiveBayes::score(divscrape::span<const double> features) const {
   // Log-likelihood ratio, converted back to a posterior via the logistic.
   double log_odds =
       std::log(prior_pos_) - std::log1p(-prior_pos_);

@@ -16,7 +16,7 @@ class NaiveBayes final : public Classifier {
   /// Trains on the dataset. Throws if either class is absent.
   static NaiveBayes train(const Dataset& data, double variance_floor = 1e-6);
 
-  [[nodiscard]] double score(std::span<const double> features) const override;
+  [[nodiscard]] double score(divscrape::span<const double> features) const override;
 
   [[nodiscard]] double prior_positive() const noexcept { return prior_pos_; }
   [[nodiscard]] std::size_t feature_count() const noexcept {

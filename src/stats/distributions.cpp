@@ -57,7 +57,7 @@ double LogNormalDistribution::median() const noexcept {
   return std::exp(mu_);
 }
 
-DiscreteDistribution::DiscreteDistribution(std::span<const double> weights) {
+DiscreteDistribution::DiscreteDistribution(divscrape::span<const double> weights) {
   cdf_.reserve(weights.size());
   double total = 0.0;
   for (const double w : weights) {

@@ -8,7 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <span>
+#include "util/span.hpp"
 #include <vector>
 
 #include "stats/rng.hpp"
@@ -76,7 +76,7 @@ class LogNormalDistribution {
 class DiscreteDistribution {
  public:
   DiscreteDistribution() = default;
-  explicit DiscreteDistribution(std::span<const double> weights);
+  explicit DiscreteDistribution(divscrape::span<const double> weights);
 
   /// Returns an index in [0, size()). Requires non-empty, positive total.
   [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;

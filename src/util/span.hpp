@@ -1,0 +1,67 @@
+// Minimal C++17 stand-in for std::span (the repo builds with -std=c++17;
+// <span> arrives in C++20). Dynamic extent only, covering the operations the
+// codebase uses: container/pointer construction, iteration, indexing, and
+// size queries. Swap back to std::span when the toolchain baseline moves.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace divscrape {
+
+template <typename T>
+class span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using size_type = std::size_t;
+  using pointer = T*;
+  using reference = T&;
+  using iterator = T*;
+
+  constexpr span() noexcept : data_(nullptr), size_(0) {}
+  constexpr span(T* data, size_type size) noexcept : data_(data), size_(size) {}
+
+  template <std::size_t N>
+  constexpr span(T (&arr)[N]) noexcept : data_(arr), size_(N) {}
+
+  // From any contiguous container of exactly this element type (vector<U> ->
+  // span<const U>, array, string, etc.). Like std::span, only cv conversion
+  // is allowed: a container of a *derived* type must not bind, since the
+  // stride would be wrong.
+  template <typename Container,
+            typename Ptr = decltype(std::declval<Container&>().data()),
+            typename = std::enable_if_t<
+                std::is_same_v<std::remove_cv_t<std::remove_pointer_t<Ptr>>,
+                               value_type> &&
+                std::is_convertible_v<Ptr, pointer>>>
+  constexpr span(Container& c) noexcept : data_(c.data()), size_(c.size()) {}
+
+  template <typename Container,
+            typename Ptr = decltype(std::declval<const Container&>().data()),
+            typename = std::enable_if_t<
+                std::is_same_v<std::remove_cv_t<std::remove_pointer_t<Ptr>>,
+                               value_type> &&
+                std::is_convertible_v<Ptr, pointer>>>
+  constexpr span(const Container& c) noexcept
+      : data_(c.data()), size_(c.size()) {}
+
+  constexpr iterator begin() const noexcept { return data_; }
+  constexpr iterator end() const noexcept { return data_ + size_; }
+
+  constexpr reference operator[](size_type i) const noexcept {
+    return data_[i];
+  }
+  constexpr reference front() const noexcept { return data_[0]; }
+  constexpr reference back() const noexcept { return data_[size_ - 1]; }
+  constexpr pointer data() const noexcept { return data_; }
+
+  constexpr size_type size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  T* data_;
+  size_type size_;
+};
+
+}  // namespace divscrape

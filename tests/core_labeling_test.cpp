@@ -2,6 +2,7 @@
 // audit against simulator truth (the paper's Section V labelling step).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/labeling.hpp"
@@ -144,7 +145,7 @@ TEST(Labeler, SessionBoundariesRespectedInPass2) {
     LogRecord r;
     r.ip = Ipv4(2, 2, 2, 2);
     r.user_agent = "curl/7.58.0";
-    r.time = Timestamp((10'000 + i) * 1'000'000);  // ~2.8h later
+    r.time = Timestamp((10'000 + i) * std::int64_t{1'000'000});  // ~2.8h later
     r.target = "/offers/1";
     records.push_back(r);
   }
@@ -183,7 +184,7 @@ TEST(Labeler, AuditAgainstSimulatorTruth) {
 TEST(Labeler, AuditSizeMismatchThrows) {
   std::vector<Truth> reference(3, Truth::kBenign);
   std::vector<LogRecord> labeled(2);
-  EXPECT_THROW(HeuristicLabeler::audit(reference, labeled),
+  EXPECT_THROW(static_cast<void>(HeuristicLabeler::audit(reference, labeled)),
                std::invalid_argument);
 }
 

@@ -195,9 +195,9 @@ TEST(JointResults, MergeRejectsDifferentPools) {
 
 TEST(JointResults, PairIndexValidation) {
   JointResults r({"a", "b"});
-  EXPECT_THROW(r.pair(1, 1), std::out_of_range);
-  EXPECT_THROW(r.pair(1, 0), std::out_of_range);
-  EXPECT_THROW(r.pair(0, 2), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(r.pair(1, 1)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(r.pair(1, 0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(r.pair(0, 2)), std::out_of_range);
 }
 
 TEST(Report, ThousandsSeparators) {

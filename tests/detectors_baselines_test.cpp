@@ -96,7 +96,7 @@ TEST(Trap, ResetReleasesClients) {
 class ScriptedOnly final : public divscrape::ml::Classifier {
  public:
   [[nodiscard]] double score(
-      std::span<const double> features) const override {
+      divscrape::span<const double> features) const override {
     return features.size() > 12 && features[12] > 0.5 ? 1.0 : 0.0;
   }
 };

@@ -76,7 +76,9 @@ TEST(Sentinel, BurstRateTrips) {
   for (int i = 0; i < 40 && !alerted; ++i) {
     const auto v = sentinel.evaluate(req(ip, i * 0.2));  // 5 req/s
     alerted = v.alert;
-    if (alerted) EXPECT_EQ(v.reason, AlertReason::kRateLimit);
+    if (alerted) {
+      EXPECT_EQ(v.reason, AlertReason::kRateLimit);
+    }
   }
   EXPECT_TRUE(alerted);
 }

@@ -1,0 +1,147 @@
+// Shard-equivalence regression: a ShardedPipeline (1, 2, 8 shards) must
+// produce JointResults *identical* to a sequential ReplayEngine run over the
+// same CLF stream, as promised by the correctness comment in
+// src/pipeline/sharded.hpp. Both sides consume the serialized-then-reparsed
+// stream so they see byte-identical records (ground truth is sidecar
+// metadata and does not survive the wire).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/joiner.hpp"
+#include "detectors/registry.hpp"
+#include "httplog/io.hpp"
+#include "pipeline/replay.hpp"
+#include "pipeline/sharded.hpp"
+#include "traffic/scenario.hpp"
+
+namespace {
+
+using divscrape::core::JointResults;
+using divscrape::detectors::make_paper_pair;
+using divscrape::httplog::LogRecord;
+using divscrape::httplog::Truth;
+using divscrape::pipeline::ReplayEngine;
+using divscrape::pipeline::ShardedPipeline;
+
+template <typename Key>
+void expect_counters_equal(const divscrape::stats::Counter<Key>& a,
+                           const divscrape::stats::Counter<Key>& b,
+                           const std::string& what) {
+  EXPECT_EQ(a.distinct(), b.distinct()) << what;
+  for (const auto& [key, count] : a) {
+    EXPECT_EQ(b.count(key), count) << what << " key " << key;
+  }
+}
+
+// Exhaustive JointResults equality: every accessor the class exposes.
+void expect_joint_results_identical(const JointResults& a,
+                                    const JointResults& b) {
+  ASSERT_EQ(a.detector_count(), b.detector_count());
+  EXPECT_EQ(a.names(), b.names());
+  EXPECT_EQ(a.total_requests(), b.total_requests());
+  EXPECT_EQ(a.truth_count(Truth::kBenign), b.truth_count(Truth::kBenign));
+  EXPECT_EQ(a.truth_count(Truth::kMalicious),
+            b.truth_count(Truth::kMalicious));
+  expect_counters_equal(a.all_status(), b.all_status(), "all_status");
+
+  const std::size_t n = a.detector_count();
+  for (std::size_t d = 0; d < n; ++d) {
+    const std::string tag = "detector " + std::to_string(d);
+    EXPECT_EQ(a.alerts(d), b.alerts(d)) << tag;
+    EXPECT_EQ(a.confusion(d).tp, b.confusion(d).tp) << tag;
+    EXPECT_EQ(a.confusion(d).fp, b.confusion(d).fp) << tag;
+    EXPECT_EQ(a.confusion(d).tn, b.confusion(d).tn) << tag;
+    EXPECT_EQ(a.confusion(d).fn, b.confusion(d).fn) << tag;
+    expect_counters_equal(a.alerted_status(d), b.alerted_status(d),
+                          tag + " alerted_status");
+    expect_counters_equal(a.unique_alert_status(d), b.unique_alert_status(d),
+                          tag + " unique_alert_status");
+    expect_counters_equal(a.reasons(d), b.reasons(d), tag + " reasons");
+    expect_counters_equal(a.unique_reasons(d), b.unique_reasons(d),
+                          tag + " unique_reasons");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::string tag =
+          "pair (" + std::to_string(i) + "," + std::to_string(j) + ")";
+      EXPECT_EQ(a.pair(i, j).both(), b.pair(i, j).both()) << tag;
+      EXPECT_EQ(a.pair(i, j).neither(), b.pair(i, j).neither()) << tag;
+      EXPECT_EQ(a.pair(i, j).first_only(), b.pair(i, j).first_only()) << tag;
+      EXPECT_EQ(a.pair(i, j).second_only(), b.pair(i, j).second_only()) << tag;
+      EXPECT_EQ(a.fault_pair(i, j).both(), b.fault_pair(i, j).both()) << tag;
+      EXPECT_EQ(a.fault_pair(i, j).neither(), b.fault_pair(i, j).neither())
+          << tag;
+      EXPECT_EQ(a.fault_pair(i, j).first_only(),
+                b.fault_pair(i, j).first_only())
+          << tag;
+      EXPECT_EQ(a.fault_pair(i, j).second_only(),
+                b.fault_pair(i, j).second_only())
+          << tag;
+    }
+  }
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::string tag = "k_of_n k=" + std::to_string(k);
+    EXPECT_EQ(a.k_of_n_confusion(k).tp, b.k_of_n_confusion(k).tp) << tag;
+    EXPECT_EQ(a.k_of_n_confusion(k).fp, b.k_of_n_confusion(k).fp) << tag;
+    EXPECT_EQ(a.k_of_n_confusion(k).tn, b.k_of_n_confusion(k).tn) << tag;
+    EXPECT_EQ(a.k_of_n_confusion(k).fn, b.k_of_n_confusion(k).fn) << tag;
+  }
+}
+
+// One shared CLF serialization of the smoke scenario, generated once.
+const std::string& scenario_clf_text() {
+  static const std::string text = [] {
+    auto config = divscrape::traffic::smoke_test();
+    divscrape::traffic::Scenario scenario(config);
+    std::ostringstream out;
+    divscrape::httplog::LogWriter writer(out);
+    LogRecord r;
+    while (scenario.next(r)) writer.write(r);
+    return out.str();
+  }();
+  return text;
+}
+
+// The sequential reference run, computed once and shared by all shard
+// counts (its JointResults never changes between parameter values).
+struct SequentialBaseline {
+  divscrape::pipeline::ReplayStats stats;
+  JointResults results;
+};
+
+const SequentialBaseline& sequential_baseline() {
+  static const SequentialBaseline baseline = [] {
+    const auto pool = make_paper_pair();
+    ReplayEngine engine(pool);
+    std::istringstream in(scenario_clf_text());
+    const auto stats = engine.replay(in);
+    return SequentialBaseline{stats, engine.results()};
+  }();
+  return baseline;
+}
+
+class ShardEquivalenceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardEquivalenceTest, ShardedMatchesSequentialReplay) {
+  const auto& [stats, sequential] = sequential_baseline();
+  ASSERT_GT(stats.parsed, 0u);
+  ASSERT_EQ(stats.skipped, 0u);
+
+  ShardedPipeline pipeline([] { return make_paper_pair(); }, GetParam());
+  std::istringstream sharded_in(scenario_clf_text());
+  divscrape::httplog::LogReader reader(sharded_in);
+  LogRecord r;
+  while (reader.next(r)) pipeline.process(r);
+  const auto sharded = pipeline.finish();
+
+  EXPECT_EQ(pipeline.dispatched(), stats.parsed);
+  expect_joint_results_identical(sharded, sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardEquivalenceTest,
+                         ::testing::Values(1, 2, 8));
+
+}  // namespace

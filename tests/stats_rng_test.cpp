@@ -265,10 +265,10 @@ TEST(Discrete, RespectsWeights) {
 
 TEST(Discrete, RejectsBadWeights) {
   const std::vector<double> negative = {1.0, -1.0};
-  EXPECT_THROW((void)DiscreteDistribution(std::span<const double>(negative)),
+  EXPECT_THROW((void)DiscreteDistribution(divscrape::span<const double>(negative)),
                std::invalid_argument);
   const std::vector<double> zeros = {0.0, 0.0};
-  EXPECT_THROW((void)DiscreteDistribution(std::span<const double>(zeros)),
+  EXPECT_THROW((void)DiscreteDistribution(divscrape::span<const double>(zeros)),
                std::invalid_argument);
 }
 

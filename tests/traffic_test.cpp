@@ -91,7 +91,7 @@ TEST(Scenario, AllActorClassesPresent) {
   for (const auto cls :
        {ActorClass::kHuman, ActorClass::kSearchCrawler, ActorClass::kMonitor,
         ActorClass::kScraperAggressive, ActorClass::kScraperApi}) {
-    EXPECT_TRUE(classes.contains(static_cast<std::uint8_t>(cls)))
+    EXPECT_TRUE(classes.count(static_cast<std::uint8_t>(cls)) != 0)
         << to_string(cls);
   }
 }
