@@ -8,12 +8,18 @@
 // readable), the relative deviation, and a factor-of-two shape verdict.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/json.hpp"
 #include "core/paper_reference.hpp"
 #include "core/report.hpp"
 #include "traffic/scenario.hpp"
@@ -29,6 +35,107 @@ inline double parse_scale(int argc, char** argv, double fallback = 1.0) {
     std::exit(1);
   }
   return scale;
+}
+
+/// Arguments of the machine-readable benches: a positional scale and an
+/// optional `--json <path>`, in any order.
+struct BenchArgs {
+  double scale = 1.0;
+  std::string json_path;  ///< empty = no JSON output
+};
+
+/// Parses `[scale] [--json <path>]`; exits with a usage message on unknown
+/// flags, a missing --json value, or a scale outside (0, 1] — nothing is
+/// silently ignored, so the JSON document always records what actually ran.
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  double fallback_scale) {
+  const auto usage = [&]() {
+    std::fprintf(stderr, "usage: %s [scale in (0,1]] [--json <path>]\n",
+                 argv[0]);
+    std::exit(1);
+  };
+  BenchArgs args;
+  args.scale = fallback_scale;
+  bool have_scale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) usage();
+      args.json_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      usage();  // unknown flag
+    } else if (!have_scale) {
+      args.scale = std::atof(argv[i]);
+      if (args.scale <= 0.0 || args.scale > 1.0) usage();
+      have_scale = true;
+    } else {
+      usage();
+    }
+  }
+  return args;
+}
+
+/// Peak resident set size of this process in kilobytes. ru_maxrss is
+/// kilobytes on Linux but bytes on macOS.
+inline std::uint64_t peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  auto rss = static_cast<std::uint64_t>(usage.ru_maxrss);
+#ifdef __APPLE__
+  rss /= 1024;
+#endif
+  return rss;
+}
+
+/// One measured end-to-end run for the machine-readable bench output.
+struct ThroughputRun {
+  std::string mode;        ///< "sequential" or "sharded"
+  std::size_t shards = 0;  ///< 0 for sequential
+  std::uint64_t records = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double records_per_sec() const noexcept {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(records) / wall_s;
+  }
+  [[nodiscard]] double ns_per_record() const noexcept {
+    return records == 0 ? 0.0
+                        : wall_s * 1e9 / static_cast<double>(records);
+  }
+};
+
+/// Writes the shared machine-readable bench document:
+/// {schema, bench, scenario, scale, peak_rss_kb, runs:[{mode, shards,
+///  records, wall_s, records_per_sec, ns_per_record}]}.
+/// Every perf PR regenerates this to prove (or disprove) its speedup.
+inline bool write_throughput_json(const std::string& path,
+                                  const std::string& bench_name, double scale,
+                                  const std::vector<ThroughputRun>& runs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  core::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("divscrape.bench_throughput.v1");
+  json.key("bench").value(bench_name);
+  json.key("scenario").value("amadeus_like");
+  json.key("scale").value(scale);
+  json.key("peak_rss_kb").value(peak_rss_kb());
+  json.key("runs").begin_array();
+  for (const auto& run : runs) {
+    json.begin_object();
+    json.key("mode").value(run.mode);
+    json.key("shards").value(std::uint64_t{run.shards});
+    json.key("records").value(run.records);
+    json.key("wall_s").value(run.wall_s);
+    json.key("records_per_sec").value(run.records_per_sec());
+    json.key("ns_per_record").value(run.ns_per_record());
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+  return static_cast<bool>(out);
 }
 
 /// Runs the paper deployment on the amadeus_like scenario at `scale`.

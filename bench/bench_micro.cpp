@@ -1,0 +1,131 @@
+// Component microbenchmarks (google-benchmark; optional build). Measures
+// the operational cost of each stage of the two-tool deployment: CLF
+// parse/format, per-request detector evaluation, traffic generation, and
+// the end-to-end joined pipeline.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/joiner.hpp"
+#include "detectors/arcane.hpp"
+#include "detectors/registry.hpp"
+#include "detectors/sentinel.hpp"
+#include "httplog/clf.hpp"
+#include "traffic/scenario.hpp"
+
+namespace {
+
+using namespace divscrape;
+
+// A captive slice of scenario traffic shared by the record-level benches.
+const std::vector<httplog::LogRecord>& sample_records() {
+  static const auto records = [] {
+    auto config = traffic::smoke_test();
+    config.duration_days = 0.2;
+    traffic::Scenario scenario(config);
+    std::vector<httplog::LogRecord> out;
+    httplog::LogRecord r;
+    while (scenario.next(r)) out.push_back(r);
+    return out;
+  }();
+  return records;
+}
+
+void BM_ClfFormat(benchmark::State& state) {
+  const auto& records = sample_records();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(httplog::format_clf(records[i]));
+    i = (i + 1) % records.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClfFormat);
+
+void BM_ClfParse(benchmark::State& state) {
+  const auto& records = sample_records();
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const auto& r : records) lines.push_back(httplog::format_clf(r));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(httplog::parse_clf(lines[i]));
+    i = (i + 1) % lines.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClfParse);
+
+void BM_SentinelEvaluate(benchmark::State& state) {
+  const auto& records = sample_records();
+  detectors::SentinelDetector sentinel;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sentinel.evaluate(records[i]));
+    if (++i == records.size()) {
+      i = 0;
+      state.PauseTiming();
+      sentinel.reset();  // keep time monotone for the detector
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SentinelEvaluate);
+
+void BM_ArcaneEvaluate(benchmark::State& state) {
+  const auto& records = sample_records();
+  detectors::ArcaneDetector arcane;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arcane.evaluate(records[i]));
+    if (++i == records.size()) {
+      i = 0;
+      state.PauseTiming();
+      arcane.reset();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArcaneEvaluate);
+
+void BM_TrafficGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config = traffic::smoke_test();
+    config.duration_days = 0.05;
+    traffic::Scenario scenario(config);
+    httplog::LogRecord r;
+    std::uint64_t n = 0;
+    while (scenario.next(r)) ++n;
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(n));
+  }
+}
+BENCHMARK(BM_TrafficGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndJoinedPair(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config = traffic::smoke_test();
+    config.duration_days = 0.05;
+    traffic::Scenario scenario(config);
+    const auto pool = detectors::make_paper_pair();
+    core::AlertJoiner joiner(pool);
+    httplog::LogRecord r;
+    std::uint64_t n = 0;
+    while (scenario.next(r)) {
+      (void)joiner.process(r);
+      ++n;
+    }
+    benchmark::DoNotOptimize(joiner.results().total_requests());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(n));
+  }
+}
+BENCHMARK(BM_EndToEndJoinedPair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

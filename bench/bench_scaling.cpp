@@ -3,7 +3,7 @@
 // merged results are identical to the sequential run (the pipeline's
 // correctness claim, also covered by tests/pipeline_test.cpp).
 //
-// Usage: bench_scaling [scale]   (default 0.25)
+// Usage: bench_scaling [scale] [--json <path>]   (default 0.25)
 #include <chrono>
 #include <cstdio>
 
@@ -14,7 +14,7 @@
 int main(int argc, char** argv) {
   using namespace divscrape;
 
-  const double scale = bench::parse_scale(argc, argv, 0.25);
+  const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 0.25);
   const auto scenario = traffic::amadeus_like(scale);
   std::printf("# E11: sharded pipeline scaling, scale=%.3f\n\n", scale);
 
@@ -24,12 +24,17 @@ int main(int argc, char** argv) {
   const auto pool = detectors::make_paper_pair();
   const auto reference = core::run_experiment(config, pool);
 
+  std::vector<bench::ThroughputRun> runs;
+  runs.push_back({"sequential", 0, reference.records,
+                  reference.wall_seconds});
+
   std::printf("  %-10s %10s %14s %10s %10s\n", "shards", "wall(s)",
               "records/s", "speedup", "identical");
   std::printf("  %-10s %10.2f %14.0f %10s %10s\n", "sequential",
               reference.wall_seconds, reference.throughput_rps(), "1.00x",
               "-");
 
+  bool all_identical = true;
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = pipeline::run_sharded(
@@ -51,11 +56,20 @@ int main(int argc, char** argv) {
     std::printf("  %-10zu %10.2f %14.0f %9.2fx %10s\n", shards, wall,
                 static_cast<double>(results.total_requests()) / wall,
                 reference.wall_seconds / wall, identical ? "yes" : "NO");
+    all_identical = all_identical && identical;
+    runs.push_back({"sharded", shards, results.total_requests(), wall});
   }
 
   std::printf(
       "\nnote: the dispatcher (traffic generation) is single-threaded, so\n"
       "speedup saturates once detector evaluation is no longer the\n"
       "bottleneck; /24-affine partitioning guarantees result identity.\n");
-  return 0;
+
+  if (!json_path.empty()) {
+    if (!bench::write_throughput_json(json_path, "bench_scaling", scale,
+                                      runs))
+      return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
 }

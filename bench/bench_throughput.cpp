@@ -1,131 +1,59 @@
-// Experiment E10: component microbenchmarks (google-benchmark). Measures
-// the operational cost of each stage of the two-tool deployment: CLF
-// parse/format, per-request detector evaluation, traffic generation, and
-// the end-to-end joined pipeline.
-#include <benchmark/benchmark.h>
+// Experiment E10: end-to-end throughput of the two-tool deployment over the
+// paper-shaped workload, sequential and sharded — the repository's primary
+// perf yardstick. Emits the machine-readable BENCH_throughput document with
+// --json so every perf PR has a measured baseline to beat.
+//
+// Usage: bench_throughput [scale] [--json <path>]   (default scale 1.0)
+#include <chrono>
+#include <cstdio>
 
-#include <sstream>
-#include <vector>
-
-#include "core/joiner.hpp"
-#include "detectors/arcane.hpp"
+#include "bench_common.hpp"
 #include "detectors/registry.hpp"
-#include "detectors/sentinel.hpp"
-#include "httplog/clf.hpp"
-#include "traffic/scenario.hpp"
+#include "pipeline/sharded.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace divscrape;
 
-using namespace divscrape;
+  const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 1.0);
+  const auto scenario = traffic::amadeus_like(scale);
+  std::printf("# E10: end-to-end throughput, scale=%.3f\n\n", scale);
 
-// A captive slice of scenario traffic shared by the record-level benches.
-const std::vector<httplog::LogRecord>& sample_records() {
-  static const auto records = [] {
-    auto config = traffic::smoke_test();
-    config.duration_days = 0.2;
-    traffic::Scenario scenario(config);
-    std::vector<httplog::LogRecord> out;
-    httplog::LogRecord r;
-    while (scenario.next(r)) out.push_back(r);
-    return out;
-  }();
-  return records;
-}
+  std::vector<bench::ThroughputRun> runs;
 
-void BM_ClfFormat(benchmark::State& state) {
-  const auto& records = sample_records();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(httplog::format_clf(records[i]));
-    i = (i + 1) % records.size();
+  // Sequential: generator -> AlertJoiner in one thread.
+  core::ExperimentConfig config;
+  config.scenario = scenario;
+  const auto pool = detectors::make_paper_pair();
+  const auto sequential = core::run_experiment(config, pool);
+  runs.push_back({"sequential", 0, sequential.records,
+                  sequential.wall_seconds});
+
+  // Sharded: single dispatcher, N detector-pool worker threads.
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = pipeline::run_sharded(
+        scenario, [] { return detectors::make_paper_pair(); }, shards);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    runs.push_back({"sharded", shards, results.total_requests(), wall});
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ClfFormat);
 
-void BM_ClfParse(benchmark::State& state) {
-  const auto& records = sample_records();
-  std::vector<std::string> lines;
-  lines.reserve(records.size());
-  for (const auto& r : records) lines.push_back(httplog::format_clf(r));
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(httplog::parse_clf(lines[i]));
-    i = (i + 1) % lines.size();
+  std::printf("  %-12s %8s %12s %14s %14s\n", "mode", "shards", "wall(s)",
+              "records/s", "ns/record");
+  for (const auto& run : runs) {
+    std::printf("  %-12s %8zu %12.2f %14.0f %14.0f\n", run.mode.c_str(),
+                run.shards, run.wall_s, run.records_per_sec(),
+                run.ns_per_record());
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ClfParse);
+  std::printf("\n  peak RSS: %llu kB\n",
+              static_cast<unsigned long long>(bench::peak_rss_kb()));
 
-void BM_SentinelEvaluate(benchmark::State& state) {
-  const auto& records = sample_records();
-  detectors::SentinelDetector sentinel;
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sentinel.evaluate(records[i]));
-    if (++i == records.size()) {
-      i = 0;
-      state.PauseTiming();
-      sentinel.reset();  // keep time monotone for the detector
-      state.ResumeTiming();
-    }
+  if (!json_path.empty()) {
+    if (!bench::write_throughput_json(json_path, "bench_throughput", scale,
+                                      runs))
+      return 1;
+    std::printf("  wrote %s\n", json_path.c_str());
   }
-  state.SetItemsProcessed(state.iterations());
+  return 0;
 }
-BENCHMARK(BM_SentinelEvaluate);
-
-void BM_ArcaneEvaluate(benchmark::State& state) {
-  const auto& records = sample_records();
-  detectors::ArcaneDetector arcane;
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(arcane.evaluate(records[i]));
-    if (++i == records.size()) {
-      i = 0;
-      state.PauseTiming();
-      arcane.reset();
-      state.ResumeTiming();
-    }
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ArcaneEvaluate);
-
-void BM_TrafficGeneration(benchmark::State& state) {
-  for (auto _ : state) {
-    auto config = traffic::smoke_test();
-    config.duration_days = 0.05;
-    traffic::Scenario scenario(config);
-    httplog::LogRecord r;
-    std::uint64_t n = 0;
-    while (scenario.next(r)) ++n;
-    benchmark::DoNotOptimize(n);
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(n));
-  }
-}
-BENCHMARK(BM_TrafficGeneration)->Unit(benchmark::kMillisecond);
-
-void BM_EndToEndJoinedPair(benchmark::State& state) {
-  for (auto _ : state) {
-    auto config = traffic::smoke_test();
-    config.duration_days = 0.05;
-    traffic::Scenario scenario(config);
-    const auto pool = detectors::make_paper_pair();
-    core::AlertJoiner joiner(pool);
-    httplog::LogRecord r;
-    std::uint64_t n = 0;
-    while (scenario.next(r)) {
-      (void)joiner.process(r);
-      ++n;
-    }
-    benchmark::DoNotOptimize(joiner.results().total_requests());
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(n));
-  }
-}
-BENCHMARK(BM_EndToEndJoinedPair)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -14,7 +14,7 @@ httplog::Truth HeuristicLabeler::judge(
   if (session.request_count() < config_.min_session_requests)
     return Truth::kUnknown;
 
-  const auto ua = httplog::classify_user_agent(session.key().user_agent);
+  const auto& ua = session.ua_info();
   // Declared crawlers: benign by the paper's definition of "malicious".
   if (ua.declared_bot) return Truth::kBenign;
 
@@ -56,17 +56,17 @@ LabelingResult HeuristicLabeler::label(
 
   // Pass 1: sessionize (on a truth-scrubbed copy is unnecessary — the
   // judge never reads truth) and record each session's verdict.
+  // The sessionizer outlives pass 1: its key_for() is reused in pass 2 so
+  // both passes intern UA tokens identically.
   std::unordered_map<httplog::SessionKey, std::vector<httplog::Truth>,
                      httplog::SessionKeyHash>
       verdicts_by_client;
-  {
-    httplog::Sessionizer sessionizer(
-        config_.session_timeout_s, [&](httplog::Session&& session) {
-          verdicts_by_client[session.key()].push_back(judge(session));
-        });
-    for (const auto& r : records) sessionizer.add(r);
-    sessionizer.flush_all();
-  }
+  httplog::Sessionizer sessionizer(
+      config_.session_timeout_s, [&](httplog::Session&& session) {
+        verdicts_by_client[session.key()].push_back(judge(session));
+      });
+  for (const auto& r : records) sessionizer.add(r);
+  sessionizer.flush_all();
 
   // Pass 2: replay the stream against the same session boundaries,
   // assigning each record its session's verdict. We re-run a sessionizer
@@ -80,7 +80,7 @@ LabelingResult HeuristicLabeler::label(
   const auto timeout_us =
       httplog::seconds_to_micros(config_.session_timeout_s);
   for (auto& record : records) {
-    httplog::SessionKey key{record.ip, record.user_agent};
+    const httplog::SessionKey key = sessionizer.key_for(record);
     auto seen_it = last_seen.find(key);
     if (seen_it != last_seen.end() &&
         record.time - seen_it->second > timeout_us) {

@@ -9,23 +9,12 @@ namespace divscrape::detectors {
 
 using httplog::Timestamp;
 
-namespace {
-
-std::uint32_t fnv1a(std::string_view text) noexcept {
-  std::uint32_t h = 2166136261u;
-  for (const char c : text) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 16777619u;
-  }
-  return h;
-}
-
-}  // namespace
-
 ArcaneDetector::ArcaneDetector(ArcaneConfig config) : config_(config) {}
 
 void ArcaneDetector::reset() {
   clients_.clear();
+  local_uas_.clear();
+  paths_.clear();
   evaluations_ = 0;
 }
 
@@ -39,7 +28,7 @@ void ArcaneDetector::prune(ClientState& state, Timestamp now) {
     state.errors_4xx -= e.error_4xx;
     state.no_content -= e.no_content;
     state.not_modified -= e.not_modified;
-    auto it = state.templates.find(e.template_hash);
+    auto it = state.templates.find(e.template_token);
     if (it != state.templates.end() && --it->second == 0)
       state.templates.erase(it);
     state.window.pop_front();
@@ -60,7 +49,7 @@ Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {
   maybe_sweep(now);
 
   auto& state = clients_[httplog::SessionKey{
-      record.ip, record.user_agent}];
+      record.ip, httplog::ua_key_token(record, local_uas_)}];
   state.last_seen = now;
   if (!state.ua_classified) {
     const auto ua = httplog::classify_user_agent(record.user_agent);
@@ -75,7 +64,7 @@ Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {
   Entry entry;
   entry.time = now;
   const auto path = record.path();
-  entry.template_hash = fnv1a(httplog::path_template(path));
+  entry.template_token = paths_.template_token(path);
   entry.asset = httplog::is_static_asset(path);
   entry.referer = record.referer != "-" && !record.referer.empty();
   entry.error_4xx = record.status >= 400 && record.status < 500;
@@ -88,7 +77,7 @@ Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {
   state.errors_4xx += entry.error_4xx;
   state.no_content += entry.no_content;
   state.not_modified += entry.not_modified;
-  ++state.templates[entry.template_hash];
+  ++state.templates[entry.template_token];
 
   const int n = static_cast<int>(state.window.size());
   if (n < config_.min_requests) return {false, 0.0, AlertReason::kNone};

@@ -32,6 +32,7 @@
 
 #include "detectors/detector.hpp"
 #include "httplog/session.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::detectors {
 
@@ -83,7 +84,7 @@ class ArcaneDetector final : public Detector {
  private:
   struct Entry {
     httplog::Timestamp time;
-    std::uint32_t template_hash = 0;
+    std::uint32_t template_token = 0;
     bool asset = false;
     bool referer = false;
     bool error_4xx = false;
@@ -115,6 +116,13 @@ class ArcaneDetector final : public Detector {
   std::unordered_map<httplog::SessionKey, ClientState,
                      httplog::SessionKeyHash>
       clients_;
+  util::StringInterner local_uas_;  ///< fallback for unstamped records
+  /// Detector-wide path -> template-token memo; exact tokens replace the
+  /// seed's raw FNV-1a template hashes, which could (theoretically)
+  /// collide. Capped (the detector lives for the whole stream and unique-id
+  /// URLs would otherwise grow it without bound); past the cap templates
+  /// degrade to the seed's hash-token behaviour.
+  httplog::PathTemplateMemo paths_{std::size_t{1} << 20};
   std::uint64_t evaluations_ = 0;
 };
 

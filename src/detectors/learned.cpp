@@ -13,6 +13,7 @@ LearnedDetector::LearnedDetector(std::string name,
 
 void LearnedDetector::reset() {
   clients_.clear();
+  local_uas_.clear();
   evaluations_ = 0;
 }
 
@@ -28,7 +29,8 @@ void LearnedDetector::maybe_sweep(httplog::Timestamp now) {
 
 Verdict LearnedDetector::evaluate(const httplog::LogRecord& record) {
   maybe_sweep(record.time);
-  httplog::SessionKey key{record.ip, record.user_agent};
+  const httplog::SessionKey key{record.ip,
+                                httplog::ua_key_token(record, local_uas_)};
   auto it = clients_.find(key);
   if (it != clients_.end()) {
     const double gap_s =

@@ -17,6 +17,7 @@
 #include "detectors/detector.hpp"
 #include "httplog/session.hpp"
 #include "ml/dataset.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::detectors {
 
@@ -51,6 +52,7 @@ class LearnedDetector final : public Detector {
   std::unordered_map<httplog::SessionKey, httplog::Session,
                      httplog::SessionKeyHash>
       clients_;
+  util::StringInterner local_uas_;  ///< fallback for unstamped records
   std::uint64_t evaluations_ = 0;
 };
 

@@ -28,10 +28,13 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "detectors/detector.hpp"
 #include "httplog/ip.hpp"
 #include "httplog/timestamp.hpp"
+#include "httplog/useragent.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::detectors {
 
@@ -83,10 +86,28 @@ class SentinelDetector final : public Detector {
 
   void flag_ip(IpState& state, httplog::Ipv4 ip, httplog::Timestamp now);
   void maybe_sweep(httplog::Timestamp now);
+  /// Token-memoized UA classification: the ~20 case-insensitive substring
+  /// scans of classify_user_agent() run once per distinct UA, not once per
+  /// record. Stamped and locally-interned tokens live in separate dense
+  /// caches (their token spaces are independent). UA cardinality is
+  /// attacker-controlled, so both caches are capped at kMaxLocalUaTokens;
+  /// past the cap the record is classified directly (the seed's per-record
+  /// behaviour) instead of growing state.
+  [[nodiscard]] const httplog::UserAgentInfo& ua_info_for(
+      const httplog::LogRecord& record);
+
+  struct UaCacheEntry {
+    httplog::UserAgentInfo info;
+    bool valid = false;
+  };
 
   SentinelConfig config_;
   std::unordered_map<httplog::Ipv4, IpState, httplog::Ipv4Hash> ips_;
   std::unordered_map<httplog::Ipv4, SubnetState, httplog::Ipv4Hash> subnets_;
+  util::StringInterner local_uas_;
+  std::vector<UaCacheEntry> stamped_ua_cache_;  ///< index: ua_token - 1
+  std::vector<UaCacheEntry> local_ua_cache_;    ///< index: local token - 1
+  httplog::UserAgentInfo uncached_ua_info_;     ///< past-cap scratch result
   std::uint64_t evaluations_ = 0;
   httplog::Timestamp now_{0};
 };

@@ -5,13 +5,16 @@
 namespace divscrape::httplog {
 
 Session::Session(SessionKey key, Timestamp first_seen)
-    : key_(std::move(key)), first_(first_seen), last_(first_seen) {}
+    : key_(key), first_(first_seen), last_(first_seen) {}
 
 void Session::add(const LogRecord& record) {
   if (count_ > 0) {
     const double gap_s =
         static_cast<double>(record.time - last_) / 1e6;
     interarrival_.add(gap_s < 0.0 ? 0.0 : gap_s);
+  } else {
+    ua_ = record.user_agent;
+    ua_info_ = classify_user_agent(ua_);
   }
   ++count_;
   last_ = std::max(last_, record.time);
@@ -21,8 +24,8 @@ void Session::add(const LogRecord& record) {
   if (record.status >= 400 && record.status < 500) ++errors_4xx_;
   if (record.method == HttpMethod::kHead) ++heads_;
   if (path == "/robots.txt") robots_ = true;
-  templates_.add(path_template(path));
-  paths_.add(std::string(path));
+
+  templates_.add(paths_.template_token(path));
   status_.add(record.status);
   if (record.truth == Truth::kMalicious)
     ++malicious_;
@@ -68,10 +71,6 @@ double Session::template_entropy() const noexcept {
   return stats::shannon_entropy(templates_);
 }
 
-std::size_t Session::distinct_paths() const noexcept {
-  return paths_.distinct();
-}
-
 Truth Session::majority_truth() const noexcept {
   if (malicious_ == 0 && benign_ == 0) return Truth::kUnknown;
   return malicious_ >= benign_ ? Truth::kMalicious : Truth::kBenign;
@@ -89,7 +88,7 @@ void Sessionizer::add(const LogRecord& record) {
     last_sweep_ = record.time;
   }
 
-  SessionKey key{record.ip, record.user_agent};
+  const SessionKey key = key_for(record);
   auto it = open_.find(key);
   if (it != open_.end()) {
     const double gap_s =
@@ -103,31 +102,45 @@ void Sessionizer::add(const LogRecord& record) {
     }
   }
   if (it == open_.end()) {
-    Session fresh(key, record.time);
-    it = open_.emplace(std::move(key), std::move(fresh)).first;
+    it = open_.emplace(key, Session(key, record.time)).first;
   }
   it->second.add(record);
 }
 
+void Sessionizer::emit_sorted(std::vector<Session>&& batch) {
+  // Hash-map iteration order depends on the key's hash values; sorting by
+  // (first_seen, key) makes emission deterministic across platforms and
+  // key representations.
+  std::sort(batch.begin(), batch.end(), [](const Session& a,
+                                           const Session& b) {
+    if (a.first_seen() != b.first_seen()) return a.first_seen() < b.first_seen();
+    return a.key() < b.key();
+  });
+  for (auto& session : batch) {
+    ++completed_;
+    if (sink_) sink_(std::move(session));
+  }
+}
+
 void Sessionizer::expire_older_than(Timestamp cutoff) {
+  std::vector<Session> expired;
   for (auto it = open_.begin(); it != open_.end();) {
     if (it->second.last_seen() < cutoff) {
-      Session done = std::move(it->second);
+      expired.push_back(std::move(it->second));
       it = open_.erase(it);
-      ++completed_;
-      if (sink_) sink_(std::move(done));
     } else {
       ++it;
     }
   }
+  emit_sorted(std::move(expired));
 }
 
 void Sessionizer::flush_all() {
-  for (auto& [key, session] : open_) {
-    ++completed_;
-    if (sink_) sink_(std::move(session));
-  }
+  std::vector<Session> remaining;
+  remaining.reserve(open_.size());
+  for (auto& [key, session] : open_) remaining.push_back(std::move(session));
   open_.clear();
+  emit_sorted(std::move(remaining));
 }
 
 std::vector<Session> sessionize(const std::vector<LogRecord>& records,

@@ -5,6 +5,13 @@
 // minutes, the standard web-analytics convention). Sessions carry the
 // aggregate features the learning-based detectors and the behavioural
 // analysis consume.
+//
+// Hot-path note: the User-Agent half of the key is an interned 32-bit token
+// (see util/interner.hpp), not a string. Records stamped at ingest
+// (LogRecord::ua_token != 0) key their session state with zero string
+// hashing; unstamped records are interned once by the consumer via
+// ua_key_token(), which marks consumer-minted tokens with kLocalUaTokenBit
+// so they can never collide with ingest-stamped ones.
 #pragma once
 
 #include <cstdint>
@@ -16,29 +23,69 @@
 #include "httplog/ip.hpp"
 #include "httplog/record.hpp"
 #include "httplog/url.hpp"
+#include "httplog/useragent.hpp"
 #include "stats/histogram.hpp"
 #include "stats/running_stats.hpp"
+#include "util/hash.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::httplog {
 
-/// Session identity: (ip, user-agent).
+/// Session identity: (ip, interned user-agent token).
 struct SessionKey {
   Ipv4 ip;
-  std::string user_agent;
+  std::uint32_t ua_token = 0;
 
-  friend bool operator==(const SessionKey& a, const SessionKey& b) {
-    return a.ip == b.ip && a.user_agent == b.user_agent;
+  friend bool operator==(const SessionKey& a, const SessionKey& b) noexcept {
+    return a.ip == b.ip && a.ua_token == b.ua_token;
   }
-  friend bool operator!=(const SessionKey& a, const SessionKey& b) {
+  friend bool operator!=(const SessionKey& a, const SessionKey& b) noexcept {
     return !(a == b);
+  }
+  /// Lexicographic (ip, token) order; used for deterministic emission.
+  friend bool operator<(const SessionKey& a, const SessionKey& b) noexcept {
+    return a.ip != b.ip ? a.ip < b.ip : a.ua_token < b.ua_token;
   }
 };
 
 struct SessionKeyHash {
   [[nodiscard]] std::size_t operator()(const SessionKey& k) const noexcept {
-    return Ipv4Hash{}(k.ip) ^ (std::hash<std::string>{}(k.user_agent) << 1);
+    return util::hash_combine(Ipv4Hash{}(k.ip), k.ua_token);
   }
 };
+
+/// Marks tokens minted by a consumer-local interner (for records that were
+/// not stamped at ingest). Keeps the two token spaces disjoint so a local
+/// token can never alias an ingest-stamped one.
+inline constexpr std::uint32_t kLocalUaTokenBit = 0x8000'0000u;
+/// Marks capped-fallback tokens derived by hashing instead of interning.
+/// Disjoint from exact local tokens (those are < kMaxLocalUaTokens).
+inline constexpr std::uint32_t kHashedUaTokenBit = 0x4000'0000u;
+/// UA cardinality is attacker-controlled (scrapers rotate UAs), so local
+/// interners stop growing here; further distinct UAs fall back to hashed
+/// tokens — bounded memory at the cost of possible (hash-collision) client
+/// merging past this many distinct UAs, which a string-keyed map would
+/// have paid for in unbounded key storage instead.
+inline constexpr std::size_t kMaxLocalUaTokens = std::size_t{1} << 18;
+
+/// The session-key token for a record: the ingest-stamped token when
+/// present, otherwise `local`'s token for the UA string (tagged with
+/// kLocalUaTokenBit). One string hash for unstamped records, zero for
+/// stamped ones.
+[[nodiscard]] inline std::uint32_t ua_key_token(const LogRecord& record,
+                                                util::StringInterner& local) {
+  if (record.ua_token != util::StringInterner::kInvalidToken)
+    return record.ua_token;
+  std::uint32_t token = local.find(record.user_agent);
+  if (token == util::StringInterner::kInvalidToken) {
+    if (local.size() >= kMaxLocalUaTokens) {
+      return (util::fnv1a32(record.user_agent) & ~kLocalUaTokenBit) |
+             kLocalUaTokenBit | kHashedUaTokenBit;
+    }
+    token = local.intern(record.user_agent);
+  }
+  return token | kLocalUaTokenBit;
+}
 
 /// Aggregate view of one client session.
 class Session {
@@ -50,6 +97,14 @@ class Session {
   void add(const LogRecord& record);
 
   [[nodiscard]] const SessionKey& key() const noexcept { return key_; }
+  /// The User-Agent string of the session's first record (all records of a
+  /// session share one UA — the key guarantees it). Empty before add().
+  [[nodiscard]] const std::string& user_agent() const noexcept { return ua_; }
+  /// UA classification, computed once per session (the seed classified on
+  /// every feature extraction).
+  [[nodiscard]] const UserAgentInfo& ua_info() const noexcept {
+    return ua_info_;
+  }
   [[nodiscard]] std::uint64_t request_count() const noexcept { return count_; }
   [[nodiscard]] Timestamp first_seen() const noexcept { return first_; }
   [[nodiscard]] Timestamp last_seen() const noexcept { return last_; }
@@ -74,7 +129,9 @@ class Session {
   /// with high volume is the catalogue-sweep signature.
   [[nodiscard]] double template_entropy() const noexcept;
   /// Distinct concrete paths visited.
-  [[nodiscard]] std::size_t distinct_paths() const noexcept;
+  [[nodiscard]] std::size_t distinct_paths() const noexcept {
+    return paths_.distinct_paths();
+  }
   /// Whether the session ever fetched /robots.txt.
   [[nodiscard]] bool fetched_robots() const noexcept { return robots_; }
   /// Per-status counts.
@@ -86,6 +143,8 @@ class Session {
 
  private:
   SessionKey key_;
+  std::string ua_;  ///< captured from the first record
+  UserAgentInfo ua_info_{UaFamily::kEmpty, 0, false, false, false};
   std::uint64_t count_ = 0;
   Timestamp first_;
   Timestamp last_;
@@ -95,8 +154,12 @@ class Session {
   std::uint64_t errors_4xx_ = 0;
   std::uint64_t heads_ = 0;
   bool robots_ = false;
-  stats::Counter<std::string> templates_;
-  stats::Counter<std::string> paths_;
+  // Paths and their templates are interned session-locally: counting exact
+  // 32-bit tokens is bijective with counting the strings themselves (same
+  // entropy, same distinct counts) but costs one probe instead of a string
+  // copy plus O(log n) string compares per record.
+  PathTemplateMemo paths_;
+  stats::Counter<std::uint32_t> templates_;
   stats::Counter<int> status_;
   std::uint64_t malicious_ = 0;
   std::uint64_t benign_ = 0;
@@ -113,10 +176,19 @@ class Sessionizer {
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  /// The session key this sessionizer uses for a record (stamped token or
+  /// a token from the sessionizer's own interner). Exposed so callers that
+  /// post-process by client (e.g. the labeler's second pass) key their maps
+  /// identically to the sessions they received from the sink.
+  [[nodiscard]] SessionKey key_for(const LogRecord& record) {
+    return SessionKey{record.ip, ua_key_token(record, local_uas_)};
+  }
+
   /// Feeds one record; may emit zero or more completed sessions first.
   void add(const LogRecord& record);
 
-  /// Closes and emits every open session (end of stream).
+  /// Closes and emits every open session (end of stream), ordered by
+  /// (first_seen, key) so downstream consumers are hash-order independent.
   void flush_all();
 
   [[nodiscard]] std::size_t open_sessions() const noexcept {
@@ -128,9 +200,11 @@ class Sessionizer {
 
  private:
   void expire_older_than(Timestamp cutoff);
+  void emit_sorted(std::vector<Session>&& batch);
 
   double idle_timeout_s_;
   Sink sink_;
+  util::StringInterner local_uas_;
   std::unordered_map<SessionKey, Session, SessionKeyHash> open_;
   std::uint64_t completed_ = 0;
   Timestamp last_sweep_;

@@ -3,10 +3,14 @@
 // dynamic page, path depth, template extraction).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/hash.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::httplog {
 
@@ -57,5 +61,87 @@ struct QueryParam {
 /// "{n}" so that /offer/123 and /offer/987 collapse to /offer/{n}. Scrapers
 /// sweeping a catalogue produce very low template entropy.
 [[nodiscard]] std::string path_template(std::string_view path);
+
+/// Interning memo over paths and their templates: template_token() interns
+/// the path and computes+interns its template once per *distinct* path, so
+/// repeat paths cost one probe — no path_template() allocation per record.
+/// Tokens are exact (bijective with the strings), unlike a raw hash, so
+/// counting them is collision-free. Used per-Session and per-ArcaneDetector;
+/// thread-compatible like the interner it wraps.
+///
+/// Path cardinality can be unbounded in long-running streams (unique-id
+/// URLs), so a process-lifetime memo (Arcane's) passes `max_strings`: past
+/// the cap no new strings are stored — the template is recomputed per
+/// record and, if itself new, tokenized by hash with kOverflowTokenBit set
+/// so it can never alias an exact token. Session-lifetime memos default to
+/// uncapped (their size is bounded by the session timeout).
+class PathTemplateMemo {
+ public:
+  /// Tokens >= this bit are hash-derived overflow tokens, not exact ids.
+  static constexpr std::uint32_t kOverflowTokenBit = 0x8000'0000u;
+
+  /// `max_strings`: interner growth cap; 0 = unlimited.
+  explicit PathTemplateMemo(std::size_t max_strings = 0)
+      : max_strings_(max_strings) {}
+
+  /// The template token for `path` (also interns the path itself).
+  [[nodiscard]] std::uint32_t template_token(std::string_view path) {
+    std::uint32_t path_tok = ids_.find(path);
+    if (path_tok == util::StringInterner::kInvalidToken) {
+      if (!has_room()) return overflow_template_token(path);
+      path_tok = ids_.intern(path);
+    }
+    if (template_of_path_.size() < ids_.size())
+      template_of_path_.resize(ids_.size(),
+                               util::StringInterner::kInvalidToken);
+    std::uint32_t& slot = template_of_path_[path_tok - 1];
+    if (slot == util::StringInterner::kInvalidToken) {
+      ++distinct_paths_;
+      const std::string tmpl = path_template(path);
+      std::uint32_t tmpl_tok = ids_.find(tmpl);
+      if (tmpl_tok == util::StringInterner::kInvalidToken) {
+        if (!has_room()) return slot = hashed_token(tmpl);
+        tmpl_tok = ids_.intern(tmpl);
+      }
+      slot = tmpl_tok;
+    }
+    return slot;
+  }
+
+  /// Distinct paths ever passed to template_token() (memoized ones; paths
+  /// first seen past the cap are not tracked).
+  [[nodiscard]] std::size_t distinct_paths() const noexcept {
+    return distinct_paths_;
+  }
+
+  void clear() {
+    ids_.clear();
+    template_of_path_.clear();
+    distinct_paths_ = 0;
+  }
+
+ private:
+  [[nodiscard]] bool has_room() const noexcept {
+    return max_strings_ == 0 || ids_.size() < max_strings_;
+  }
+  [[nodiscard]] static std::uint32_t hashed_token(
+      std::string_view text) noexcept {
+    return util::fnv1a32(text) | kOverflowTokenBit;
+  }
+  /// Past-cap path: no memo entry; resolve the template per record, exact
+  /// token when the template itself is already interned (the common case —
+  /// template cardinality is far below path cardinality), hash otherwise.
+  [[nodiscard]] std::uint32_t overflow_template_token(std::string_view path) {
+    const std::string tmpl = path_template(path);
+    const std::uint32_t tok = ids_.find(tmpl);
+    return tok != util::StringInterner::kInvalidToken ? tok
+                                                      : hashed_token(tmpl);
+  }
+
+  util::StringInterner ids_;  ///< paths and their templates, one token space
+  std::vector<std::uint32_t> template_of_path_;  ///< path token-1 -> template
+  std::size_t distinct_paths_ = 0;
+  std::size_t max_strings_ = 0;
+};
 
 }  // namespace divscrape::httplog

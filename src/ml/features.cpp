@@ -30,8 +30,7 @@ const std::vector<std::string>& session_feature_names() {
 
 std::vector<double> extract_features(const httplog::Session& session) {
   const auto count = static_cast<double>(session.request_count());
-  const auto ua =
-      httplog::classify_user_agent(session.key().user_agent);
+  const auto& ua = session.ua_info();  // classified once per session
   const auto& status = session.status_counts();
   const double c204 = static_cast<double>(status.count(204));
   const double c304 = static_cast<double>(status.count(304));

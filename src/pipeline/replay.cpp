@@ -8,7 +8,9 @@ namespace divscrape::pipeline {
 ReplayEngine::ReplayEngine(
     const std::vector<std::unique_ptr<detectors::Detector>>& pool,
     double time_scale)
-    : joiner_(pool), time_scale_(time_scale) {}
+    : joiner_(pool), time_scale_(time_scale) {
+  for (const auto& detector : pool) detector->reset();
+}
 
 ReplayStats ReplayEngine::replay(std::istream& in) {
   ReplayStats stats;
@@ -18,6 +20,9 @@ ReplayStats ReplayEngine::replay(std::istream& in) {
   bool have_origin = false;
   httplog::Timestamp origin;
   while (reader.next(record)) {
+    // Parsed records carry no token; stamp here so every detector keys its
+    // state by the token instead of re-hashing the UA string.
+    record.ua_token = ua_tokens_.intern(record.user_agent);
     if (time_scale_ > 0.0) {
       if (!have_origin) {
         origin = record.time;

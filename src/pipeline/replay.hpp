@@ -12,6 +12,7 @@
 #include "core/joiner.hpp"
 #include "detectors/detector.hpp"
 #include "httplog/io.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::pipeline {
 
@@ -26,6 +27,13 @@ class ReplayEngine {
  public:
   /// `time_scale`: 0 replays as fast as possible; x > 0 sleeps so that one
   /// simulated second takes 1/x wall seconds (e.g. 60 = minute-per-second).
+  ///
+  /// The pool is reset() on construction (mirroring core::run_experiment):
+  /// the engine stamps records with tokens from its own interner, and any
+  /// token-keyed detector state from a previous source would be meaningless
+  /// — or worse, silently wrong — under this engine's token space. Repeated
+  /// replay() calls on one engine share the interner and accumulate state
+  /// (the multi-file log-tailing use case).
   explicit ReplayEngine(
       const std::vector<std::unique_ptr<detectors::Detector>>& pool,
       double time_scale = 0.0);
@@ -39,6 +47,7 @@ class ReplayEngine {
 
  private:
   core::AlertJoiner joiner_;
+  util::StringInterner ua_tokens_;  ///< stamps parsed records at ingest
   double time_scale_;
 };
 

@@ -18,7 +18,11 @@ ShardedPipeline::ShardedPipeline(PoolFactory factory, std::size_t shards,
     auto shard = std::make_unique<Shard>();
     shard->pool = factory();
     shard->joiner = std::make_unique<core::AlertJoiner>(shard->pool);
+    // The dispatcher-side batch; the worker reserves its own swap buffer
+    // (worker_loop), and swapping ping-pongs the two reserved capacities,
+    // so no handoff vector regrows in steady state.
     shard->pending.reserve(batch_size_);
+    shard->queue.reserve(2 * batch_size_);
     shards_.push_back(std::move(shard));
   }
   workers_.reserve(shards);
@@ -43,6 +47,9 @@ ShardedPipeline::~ShardedPipeline() {
 
 void ShardedPipeline::worker_loop(Shard& shard) {
   std::vector<httplog::LogRecord> batch;
+  // Swapping with the queue trades capacities, so both buffers must start
+  // reserved or the queue re-regrows (under the mutex) after the first swap.
+  batch.reserve(2 * batch_size_);
   for (;;) {
     {
       std::unique_lock lock(shard.mutex);
@@ -70,15 +77,30 @@ void ShardedPipeline::flush(Shard& shard) {
   shard.pending.clear();
 }
 
-void ShardedPipeline::process(const httplog::LogRecord& record) {
+ShardedPipeline::Shard& ShardedPipeline::route(
+    const httplog::LogRecord& record) {
   if (finished_)
     throw std::logic_error("ShardedPipeline: process() after finish()");
   // Route by /24 so every record sharing detector state lands together.
   const auto key = httplog::Ipv4Hash{}(record.ip.prefix(24));
-  Shard& shard = *shards_[key % shards_.size()];
-  shard.pending.push_back(record);
+  return *shards_[key % shards_.size()];
+}
+
+void ShardedPipeline::after_enqueue(Shard& shard) {
   ++dispatched_;
   if (shard.pending.size() >= batch_size_) flush(shard);
+}
+
+void ShardedPipeline::process(const httplog::LogRecord& record) {
+  Shard& shard = route(record);
+  shard.pending.push_back(record);
+  after_enqueue(shard);
+}
+
+void ShardedPipeline::process(httplog::LogRecord&& record) {
+  Shard& shard = route(record);
+  shard.pending.push_back(std::move(record));
+  after_enqueue(shard);
 }
 
 core::JointResults ShardedPipeline::finish() {
@@ -107,7 +129,9 @@ core::JointResults run_sharded(const traffic::ScenarioConfig& scenario_config,
   traffic::Scenario scenario(scenario_config);
   ShardedPipeline pipeline(std::move(factory), shards);
   httplog::LogRecord record;
-  while (scenario.next(record)) pipeline.process(record);
+  // Moving is safe: every actor step() starts from a fresh LogRecord{}, so
+  // the moved-from state never leaks into the next emission.
+  while (scenario.next(record)) pipeline.process(std::move(record));
   return pipeline.finish();
 }
 

@@ -47,6 +47,10 @@ class ShardedPipeline {
   /// Routes one record to its shard (by /24 prefix hash). Called from one
   /// dispatcher thread only.
   void process(const httplog::LogRecord& record);
+  /// Move overload: the dispatcher→shard handoff steals the record's five
+  /// strings instead of copying them — the preferred form for streaming
+  /// sources that re-fill the record anyway.
+  void process(httplog::LogRecord&& record);
 
   /// Flushes queues, joins workers, merges shard results. Must be called
   /// exactly once; process() is illegal afterwards.
@@ -70,6 +74,9 @@ class ShardedPipeline {
 
   void worker_loop(Shard& shard);
   void flush(Shard& shard);
+  /// Shard selection + batch bookkeeping shared by both process overloads.
+  [[nodiscard]] Shard& route(const httplog::LogRecord& record);
+  void after_enqueue(Shard& shard);
 
   std::size_t batch_size_;
   std::vector<std::unique_ptr<Shard>> shards_;

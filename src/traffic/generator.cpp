@@ -57,6 +57,7 @@ bool TrafficGenerator::next(httplog::LogRecord& out) {
       --live_actors_;
     }
     if (emit) {
+      out.ua_token = ua_tokens_.intern(out.user_agent);
       ++emitted_;
       return true;
     }

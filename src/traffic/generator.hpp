@@ -19,6 +19,7 @@
 
 #include "httplog/record.hpp"
 #include "traffic/actor.hpp"
+#include "util/interner.hpp"
 
 namespace divscrape::traffic {
 
@@ -47,6 +48,9 @@ class TrafficGenerator {
   void add_arrivals(ArrivalProcess process, httplog::Timestamp from);
 
   /// Produces the next record in global time order; false when exhausted.
+  /// Every emitted record is stamped with an interned `ua_token` so the
+  /// whole detection stack downstream keys its per-client state without
+  /// hashing the UA string again.
   [[nodiscard]] bool next(httplog::LogRecord& out);
 
   /// Drains the whole stream into a vector (tests / small scenarios only).
@@ -76,6 +80,7 @@ class TrafficGenerator {
   std::vector<std::unique_ptr<Actor>> actors_;   ///< null after retirement
   std::vector<ArrivalProcess> arrivals_;
   std::vector<Event> heap_;
+  util::StringInterner ua_tokens_;  ///< mints LogRecord::ua_token stamps
   std::uint64_t emitted_ = 0;
   std::size_t live_actors_ = 0;
 };

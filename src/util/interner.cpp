@@ -1,0 +1,76 @@
+#include "util/interner.hpp"
+
+#include "util/hash.hpp"
+
+namespace divscrape::util {
+
+namespace {
+constexpr std::size_t kInitialSlots = 16;  // power of two
+}  // namespace
+
+StringInterner::StringInterner() = default;
+
+std::uint32_t StringInterner::intern(std::string_view text) {
+  // The table is allocated lazily on first intern (Sessions embed an
+  // interner each; empty ones must stay byte-cheap) and grows at ~70%
+  // load so probe chains stay short.
+  if (table_.empty()) {
+    table_.resize(kInitialSlots);
+  } else if ((strings_.size() + 1) * 10 >= table_.size() * 7) {
+    grow();
+  }
+
+  const std::uint32_t h = fnv1a32(text);
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = h & mask;
+  for (;;) {
+    Slot& slot = table_[i];
+    if (slot.token == kInvalidToken) {
+      strings_.emplace_back(text);
+      slot.hash = h;
+      slot.token = static_cast<std::uint32_t>(strings_.size());
+      return slot.token;
+    }
+    if (slot.hash == h && strings_[slot.token - 1] == text) {
+      return slot.token;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+std::uint32_t StringInterner::find(std::string_view text) const noexcept {
+  if (table_.empty()) return kInvalidToken;
+  const std::uint32_t h = fnv1a32(text);
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = h & mask;
+  for (;;) {
+    const Slot& slot = table_[i];
+    if (slot.token == kInvalidToken) return kInvalidToken;
+    if (slot.hash == h && strings_[slot.token - 1] == text) return slot.token;
+    i = (i + 1) & mask;
+  }
+}
+
+std::string_view StringInterner::lookup(std::uint32_t token) const noexcept {
+  if (token == kInvalidToken || token > strings_.size()) return {};
+  return strings_[token - 1];
+}
+
+void StringInterner::clear() {
+  strings_.clear();
+  table_.clear();
+}
+
+void StringInterner::grow() {
+  std::vector<Slot> bigger(table_.size() * 2);
+  const std::size_t mask = bigger.size() - 1;
+  for (const Slot& slot : table_) {
+    if (slot.token == kInvalidToken) continue;
+    std::size_t i = slot.hash & mask;
+    while (bigger[i].token != kInvalidToken) i = (i + 1) & mask;
+    bigger[i] = slot;
+  }
+  table_.swap(bigger);
+}
+
+}  // namespace divscrape::util

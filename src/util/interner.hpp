@@ -1,0 +1,63 @@
+// StringInterner: maps strings to dense 32-bit tokens so hot paths can key
+// their state by a trivially-hashable integer instead of re-hashing and
+// re-copying the same strings millions of times per run.
+//
+// Design notes:
+//   * Tokens are dense and allocation-ordered: the first distinct string
+//     gets token 1, the next token 2, ... Token 0 is reserved as "invalid /
+//     not stamped" so a zero-initialized LogRecord::ua_token is harmless.
+//   * Lookup is an open-addressing probe keyed by the string's FNV-1a hash,
+//     so intern() of an already-seen string takes no allocation and no
+//     std::string construction (std::unordered_map<std::string, T> cannot
+//     be probed with a string_view in C++17).
+//   * Thread-compatible, not thread-safe: the intended deployment is one
+//     interner per shard / per detector instance, so the hot path never
+//     locks. Share across threads only with external synchronization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace divscrape::util {
+
+class StringInterner {
+ public:
+  /// Reserved "no token" value; intern() never returns it.
+  static constexpr std::uint32_t kInvalidToken = 0;
+
+  StringInterner();
+
+  /// Returns the token for `text`, minting the next dense token on first
+  /// sight. The only allocation is the one-time copy of a new string.
+  [[nodiscard]] std::uint32_t intern(std::string_view text);
+
+  /// The token for `text` if already interned, kInvalidToken otherwise.
+  /// Never allocates; lets callers bound an interner's growth.
+  [[nodiscard]] std::uint32_t find(std::string_view text) const noexcept;
+
+  /// The string behind a token; empty view for kInvalidToken or tokens
+  /// this interner never minted.
+  [[nodiscard]] std::string_view lookup(std::uint32_t token) const noexcept;
+
+  /// Number of distinct strings interned (== the highest token).
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return strings_.empty(); }
+
+  /// Forgets everything; previously returned tokens become invalid.
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint32_t hash = 0;
+    std::uint32_t token = kInvalidToken;  ///< kInvalidToken marks an empty slot
+  };
+
+  void grow();
+
+  std::vector<Slot> table_;        ///< power-of-two open-addressing table
+  std::vector<std::string> strings_;  ///< token - 1 -> string
+};
+
+}  // namespace divscrape::util

@@ -26,7 +26,7 @@ constexpr const char* kBrowserUa =
 Session make_session(const char* ua,
                      const std::vector<std::tuple<double, const char*, int,
                                                   const char*>>& requests) {
-  SessionKey key{Ipv4(9, 9, 9, 9), ua};
+  SessionKey key{Ipv4(9, 9, 9, 9), 1};
   Session session(key, Timestamp(0));
   for (const auto& [t, target, status, referer] : requests) {
     LogRecord r;

@@ -72,7 +72,7 @@ TEST(Sessionizer, SinkReceivesCompletedSessionsInStream) {
 }
 
 TEST(Session, FeatureAggregates) {
-  SessionKey key{Ipv4(9, 9, 9, 9), "UA"};
+  SessionKey key{Ipv4(9, 9, 9, 9), 1};
   Session s(key, Timestamp(0));
   s.add(make(key.ip, 0.0, "/offers/1", 200));
   s.add(make(key.ip, 10.0, "/offers/2", 200));
@@ -96,7 +96,7 @@ TEST(Session, FeatureAggregates) {
 }
 
 TEST(Session, RefererAndHeadRatios) {
-  SessionKey key{Ipv4(9, 9, 9, 9), "UA"};
+  SessionKey key{Ipv4(9, 9, 9, 9), 1};
   Session s(key, Timestamp(0));
   auto r1 = make(key.ip, 0.0);
   r1.referer = "https://x/";
@@ -109,7 +109,7 @@ TEST(Session, RefererAndHeadRatios) {
 }
 
 TEST(Session, RobotsFetchSticky) {
-  SessionKey key{Ipv4(9, 9, 9, 9), "UA"};
+  SessionKey key{Ipv4(9, 9, 9, 9), 1};
   Session s(key, Timestamp(0));
   EXPECT_FALSE(s.fetched_robots());
   s.add(make(key.ip, 0.0, "/robots.txt"));
@@ -118,7 +118,7 @@ TEST(Session, RobotsFetchSticky) {
 }
 
 TEST(Session, MajorityTruth) {
-  SessionKey key{Ipv4(9, 9, 9, 9), "UA"};
+  SessionKey key{Ipv4(9, 9, 9, 9), 1};
   Session s(key, Timestamp(0));
   EXPECT_EQ(s.majority_truth(), Truth::kUnknown);
   auto r = make(key.ip, 0.0);
@@ -133,7 +133,7 @@ TEST(Session, MajorityTruth) {
 }
 
 TEST(Session, SingleRequestRateIsCount) {
-  SessionKey key{Ipv4(9, 9, 9, 9), "UA"};
+  SessionKey key{Ipv4(9, 9, 9, 9), 1};
   Session s(key, Timestamp(0));
   s.add(make(key.ip, 0.0));
   EXPECT_DOUBLE_EQ(s.duration_s(), 0.0);

@@ -124,4 +124,42 @@ TEST(PathTemplate, SweepCollapsesToOneTemplate) {
   }
 }
 
+TEST(PathTemplateMemo, SweepSharesOneTemplateToken) {
+  divscrape::httplog::PathTemplateMemo memo;
+  const auto tok = memo.template_token("/offers/1");
+  for (int id = 2; id < 100; ++id) {
+    EXPECT_EQ(memo.template_token("/offers/" + std::to_string(id)), tok);
+  }
+  EXPECT_EQ(memo.distinct_paths(), 99u);
+  EXPECT_NE(memo.template_token("/search"), tok);
+}
+
+TEST(PathTemplateMemo, RepeatPathsAreMemoized) {
+  divscrape::httplog::PathTemplateMemo memo;
+  const auto a = memo.template_token("/book/7/step/2");
+  EXPECT_EQ(memo.template_token("/book/7/step/2"), a);
+  EXPECT_EQ(memo.distinct_paths(), 1u);
+}
+
+TEST(PathTemplateMemo, CapBoundsGrowthButKeepsKnownTemplatesExact) {
+  using divscrape::httplog::PathTemplateMemo;
+  // Cap of 4 strings: "/offers/1", "/offers/{n}", "/a", "/b" fill it.
+  PathTemplateMemo memo(4);
+  const auto offers = memo.template_token("/offers/1");
+  (void)memo.template_token("/a");
+  (void)memo.template_token("/b");
+  EXPECT_EQ(memo.distinct_paths(), 3u);
+
+  // Past the cap: a fresh sweep path still resolves to the exact, already
+  // interned template token (no growth, no hash degradation).
+  EXPECT_EQ(memo.template_token("/offers/99999"), offers);
+  EXPECT_EQ(memo.distinct_paths(), 3u);  // not memoized past the cap
+
+  // A template never seen before the cap degrades to a stable hash token
+  // flagged with the overflow bit (never aliasing an exact token).
+  const auto overflow = memo.template_token("/unseen/path");
+  EXPECT_TRUE(overflow & PathTemplateMemo::kOverflowTokenBit);
+  EXPECT_EQ(memo.template_token("/unseen/path"), overflow);
+}
+
 }  // namespace

@@ -228,11 +228,11 @@ TEST(Features, NamesMatchVectorLength) {
   using divscrape::httplog::SessionKey;
   using divscrape::httplog::Timestamp;
 
-  SessionKey key{Ipv4(1, 2, 3, 4), "curl/7.58.0"};
+  SessionKey key{Ipv4(1, 2, 3, 4), 1};
   Session s(key, Timestamp(0));
   LogRecord r;
   r.ip = key.ip;
-  r.user_agent = key.user_agent;
+  r.user_agent = "curl/7.58.0";
   r.target = "/offers/5";
   s.add(r);
   const auto features = extract_features(s);
@@ -255,7 +255,7 @@ TEST(Features, DatasetSkipsUnknownTruth) {
 
   std::vector<divscrape::httplog::Session> sessions;
   for (int i = 0; i < 3; ++i) {
-    SessionKey key{Ipv4(1, 1, 1, static_cast<std::uint8_t>(i)), "UA"};
+    SessionKey key{Ipv4(1, 1, 1, static_cast<std::uint8_t>(i)), 1};
     Session s(key, Timestamp(0));
     LogRecord r;
     r.ip = key.ip;

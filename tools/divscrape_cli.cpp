@@ -32,6 +32,7 @@
 #include "httplog/io.hpp"
 #include "pipeline/alert_log.hpp"
 #include "traffic/scenario.hpp"
+#include "util/interner.hpp"
 
 using namespace divscrape;
 
@@ -161,7 +162,11 @@ int cmd_analyze(const CliOptions& opts) {
 
   httplog::LogReader reader(in);
   httplog::LogRecord record;
+  util::StringInterner ua_tokens;
   while (reader.next(record)) {
+    // Stamp the interned UA token so the detectors skip per-record string
+    // hashing (same as ReplayEngine and the traffic generator do).
+    record.ua_token = ua_tokens.intern(record.user_agent);
     const auto verdicts = joiner.process(record);
     if (alerts) {
       for (std::size_t d = 0; d < pool.size(); ++d) {
