@@ -1,0 +1,89 @@
+// Live-ingest throughput: StreamWriter pumps the paper-shaped workload
+// into a growing CLF file (torn writes enabled, like a real Apache worker
+// pool) while a LogTailer + ReplayEngine consumes it — the deployment-
+// shaped counterpart to bench_throughput's in-memory runs. A one-shot
+// batch replay of the finished file provides the comparison row, and the
+// two JointResults must serialize byte-identically or the bench exits
+// nonzero (same identity contract as bench_scaling).
+//
+// Usage: bench_tail [scale] [--json <path>]   (default scale 0.1)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/export.hpp"
+#include "detectors/registry.hpp"
+#include "pipeline/tailer.hpp"
+#include "traffic/stream_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divscrape;
+
+  const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 0.1);
+  std::printf("# live ingest: write + tail + detect, scale=%.3f\n\n", scale);
+  const std::string log_path = "bench_tail.log";
+
+  std::vector<bench::ThroughputRun> runs;
+
+  // Live: pump records to the file in batches, polling the tailer between
+  // batches. Wall time covers generation + CLF encode + write + tail +
+  // parse + both detectors — the full deployment loop.
+  std::string tail_results;
+  {
+    traffic::Scenario scenario(traffic::amadeus_like(scale));
+    traffic::StreamWriter::FaultPlan plan;
+    plan.tear_every = 97;  // exercise the partial-line path continuously
+    traffic::StreamWriter writer(log_path, plan);
+    const auto pool = detectors::make_paper_pair();
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log_path, engine);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    while (writer.pump(scenario, 4096) > 0) (void)tailer.poll();
+    (void)tailer.poll();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (engine.stats().parsed != writer.records_written()) {
+      std::fprintf(stderr, "FAIL: tailed %llu of %llu written records\n",
+                   static_cast<unsigned long long>(engine.stats().parsed),
+                   static_cast<unsigned long long>(writer.records_written()));
+      return 1;
+    }
+    runs.push_back({"tail", 0, engine.stats().parsed, wall});
+    tail_results = core::to_json(engine.results());
+  }
+
+  // Batch: one-shot replay of the very same file through a fresh pool.
+  {
+    const auto pool = detectors::make_paper_pair();
+    pipeline::ReplayEngine engine(pool);
+    std::ifstream in(log_path, std::ios::binary);
+    const auto stats = engine.replay(in);
+    runs.push_back({"batch_replay", 0, stats.parsed, stats.wall_seconds});
+    if (core::to_json(engine.results()) != tail_results) {
+      std::fprintf(stderr,
+                   "FAIL: tail results differ from one-shot batch replay\n");
+      return 1;
+    }
+  }
+  std::remove(log_path.c_str());
+
+  std::printf("  %-12s %12s %14s %14s\n", "mode", "wall(s)", "records/s",
+              "ns/record");
+  for (const auto& run : runs) {
+    std::printf("  %-12s %12.2f %14.0f %14.0f\n", run.mode.c_str(),
+                run.wall_s, run.records_per_sec(), run.ns_per_record());
+  }
+  std::printf("\n  identity: tail == batch_replay (byte-identical JSON)\n");
+  std::printf("  peak RSS: %llu kB\n",
+              static_cast<unsigned long long>(bench::peak_rss_kb()));
+
+  if (!json_path.empty()) {
+    if (!bench::write_throughput_json(json_path, "bench_tail", scale, runs))
+      return 1;
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

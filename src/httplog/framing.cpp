@@ -1,0 +1,39 @@
+#include "httplog/framing.hpp"
+
+namespace divscrape::httplog {
+
+void LineFramer::feed(std::string_view chunk) {
+  compact();
+  buffer_.append(chunk.data(), chunk.size());
+}
+
+bool LineFramer::next(std::string_view& line) {
+  const auto nl = buffer_.find('\n', read_pos_);
+  if (nl == std::string::npos) return false;
+  line = std::string_view(buffer_).substr(read_pos_, nl - read_pos_);
+  read_pos_ = nl + 1;
+  return true;
+}
+
+bool LineFramer::take_partial(std::string_view& line) {
+  compact();
+  if (buffer_.empty()) return false;
+  // The partial becomes the line; the buffer must survive until the caller
+  // is done with the view, so swap it out lazily via read_pos_.
+  line = buffer_;
+  read_pos_ = buffer_.size();
+  return true;
+}
+
+void LineFramer::reset() {
+  buffer_.clear();
+  read_pos_ = 0;
+}
+
+void LineFramer::compact() {
+  if (read_pos_ == 0) return;
+  buffer_.erase(0, read_pos_);
+  read_pos_ = 0;
+}
+
+}  // namespace divscrape::httplog

@@ -1,0 +1,59 @@
+// Incremental CLF line framing: turn an arbitrary sequence of byte chunks
+// (as delivered by a log tailer polling a growing file) back into the lines
+// a whole-stream `std::getline` loop would have produced.
+//
+// The framer is the single place the repository decides where a log line
+// ends, so batch replay and live tailing frame identically by construction:
+//
+//   * lines are split at '\n'; a trailing '\r' is left in place (the CLF
+//     parser strips it, exactly as it does for getline-read lines);
+//   * a final byte run without a terminating '\n' is *not* a line — it is
+//     held as a partial until either the newline arrives (tail mode) or the
+//     caller declares end-of-stream with `take_partial()` (batch mode,
+//     which keeps the historical "unterminated last line parses" behavior).
+//
+// That last distinction is deliberate and tested: a tailer that treated the
+// partial as complete would mis-parse every torn mid-record write.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace divscrape::httplog {
+
+/// Reassembles newline-terminated lines from arbitrary byte chunks.
+class LineFramer {
+ public:
+  /// Appends a chunk of raw bytes to the frame buffer.
+  void feed(std::string_view chunk);
+
+  /// Yields the next complete ('\n'-terminated) line, without its
+  /// terminator. The view is valid until the next feed()/reset() call.
+  [[nodiscard]] bool next(std::string_view& line);
+
+  /// End-of-stream: hands out the unterminated trailing bytes as one final
+  /// line (getline's behavior at EOF) and clears the buffer. False when
+  /// there is no partial line.
+  [[nodiscard]] bool take_partial(std::string_view& line);
+
+  /// Discards the buffered partial line (used when the file holding those
+  /// bytes was truncated out from under the tailer).
+  void reset();
+
+  /// Bytes buffered but not yet framed into a line — the distance from the
+  /// last committed line end to the write frontier. A checkpoint must not
+  /// advance past `consumed - buffered()`.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - read_pos_;
+  }
+  [[nodiscard]] bool has_partial() const noexcept { return buffered() > 0; }
+
+ private:
+  void compact();
+
+  std::string buffer_;
+  std::size_t read_pos_ = 0;  ///< start of unframed bytes within buffer_
+};
+
+}  // namespace divscrape::httplog

@@ -1,0 +1,40 @@
+// Time-scaled pacing: align a stream of timestamped records with the wall
+// clock so live demos replay (or generate) traffic at a chosen speed. One
+// shared implementation for every pacing consumer (ReplayEngine ingest,
+// StreamWriter pumping) so the anchor semantics cannot drift apart.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "httplog/timestamp.hpp"
+
+namespace divscrape::httplog {
+
+/// Sleeps until each waited timestamp is "due", anchored at the first
+/// timestamp ever waited on: with time_scale x, one simulated second takes
+/// 1/x wall seconds (e.g. 60 = a minute of traffic per wall second).
+class Pacer {
+ public:
+  /// No-op when `time_scale` <= 0 (as-fast-as-possible mode).
+  void wait_until(Timestamp t, double time_scale) {
+    if (time_scale <= 0.0) return;
+    if (!have_origin_) {
+      origin_ = t;
+      wall0_ = std::chrono::steady_clock::now();
+      have_origin_ = true;
+    }
+    const double sim_elapsed = static_cast<double>(t - origin_) / 1e6;
+    std::this_thread::sleep_until(
+        wall0_ +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(sim_elapsed / time_scale)));
+  }
+
+ private:
+  bool have_origin_ = false;
+  Timestamp origin_;
+  std::chrono::steady_clock::time_point wall0_;
+};
+
+}  // namespace divscrape::httplog

@@ -1,0 +1,87 @@
+#include "pipeline/checkpoint.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "core/json.hpp"
+#include "util/atomic_file.hpp"
+
+namespace divscrape::pipeline {
+
+namespace {
+
+constexpr std::string_view kSchema = "divscrape.checkpoint.v1";
+
+// Finds `"key":` in a flat JSON object and parses the following bare
+// unsigned number (the only value type this schema uses besides the schema
+// string itself).
+std::optional<std::uint64_t> find_u64(std::string_view json,
+                                      std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const auto begin = json.data() + pos + needle.size();
+  const auto end = json.data() + json.size();
+  std::uint64_t value = 0;
+  const auto parsed = std::from_chars(begin, end, value);
+  if (parsed.ec != std::errc{}) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string Checkpoint::to_json() const {
+  std::ostringstream os;
+  core::JsonWriter json(os);
+  json.begin_object();
+  json.key("schema").value(kSchema);
+  json.key("inode").value(inode);
+  json.key("offset").value(offset);
+  json.key("lines").value(lines);
+  json.key("parsed").value(parsed);
+  json.key("skipped").value(skipped);
+  json.key("rotations").value(rotations);
+  json.key("truncations").value(truncations);
+  json.end_object();
+  return os.str();
+}
+
+std::optional<Checkpoint> Checkpoint::from_json(std::string_view json) {
+  if (json.find("\"schema\":\"" + std::string(kSchema) + "\"") ==
+      std::string_view::npos)
+    return std::nullopt;
+  Checkpoint cp;
+  const auto inode = find_u64(json, "inode");
+  const auto offset = find_u64(json, "offset");
+  const auto lines = find_u64(json, "lines");
+  const auto parsed = find_u64(json, "parsed");
+  const auto skipped = find_u64(json, "skipped");
+  const auto rotations = find_u64(json, "rotations");
+  const auto truncations = find_u64(json, "truncations");
+  if (!inode || !offset || !lines || !parsed || !skipped || !rotations ||
+      !truncations)
+    return std::nullopt;
+  cp.inode = *inode;
+  cp.offset = *offset;
+  cp.lines = *lines;
+  cp.parsed = *parsed;
+  cp.skipped = *skipped;
+  cp.rotations = *rotations;
+  cp.truncations = *truncations;
+  return cp;
+}
+
+bool Checkpoint::save(const std::string& path) const {
+  return util::write_file_atomic(path, to_json() + "\n");
+}
+
+std::optional<Checkpoint> Checkpoint::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream text;
+  text << in.rdbuf();
+  return from_json(text.str());
+}
+
+}  // namespace divscrape::pipeline

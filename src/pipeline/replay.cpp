@@ -1,7 +1,6 @@
 #include "pipeline/replay.hpp"
 
-#include <chrono>
-#include <thread>
+#include "httplog/clf.hpp"
 
 namespace divscrape::pipeline {
 
@@ -12,40 +11,53 @@ ReplayEngine::ReplayEngine(
   for (const auto& detector : pool) detector->reset();
 }
 
-ReplayStats ReplayEngine::replay(std::istream& in) {
-  ReplayStats stats;
-  httplog::LogReader reader(in);
-  httplog::LogRecord record;
-  const auto wall0 = std::chrono::steady_clock::now();
-  bool have_origin = false;
-  httplog::Timestamp origin;
-  while (reader.next(record)) {
-    // Parsed records carry no token; stamp here so every detector keys its
-    // state by the token instead of re-hashing the UA string.
-    record.ua_token = ua_tokens_.intern(record.user_agent);
-    if (time_scale_ > 0.0) {
-      if (!have_origin) {
-        origin = record.time;
-        have_origin = true;
-      }
-      const double sim_elapsed =
-          static_cast<double>(record.time - origin) / 1e6;
-      const auto due =
-          wall0 + std::chrono::duration_cast<
-                      std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(sim_elapsed /
-                                                    time_scale_));
-      std::this_thread::sleep_until(due);
-    }
-    (void)joiner_.process(record);
-    ++stats.parsed;
+void ReplayEngine::ingest_line(std::string_view line) {
+  ++stats_.lines;
+  auto result = httplog::parse_clf(line);
+  if (!result.ok()) {
+    ++stats_.skipped;
+    return;
   }
-  stats.lines = reader.lines_read();
-  stats.skipped = reader.lines_skipped();
-  stats.wall_seconds =
+  httplog::LogRecord record = std::move(*result.record);
+  // Parsed records carry no token; stamp here so every detector keys its
+  // state by the token instead of re-hashing the UA string.
+  record.ua_token = ua_tokens_.intern(record.user_agent);
+  pacer_.wait_until(record.time, time_scale_);
+  (void)joiner_.process(record);
+  ++stats_.parsed;
+}
+
+std::uint64_t ReplayEngine::feed(std::string_view chunk) {
+  const std::uint64_t parsed_before = stats_.parsed;
+  framer_.feed(chunk);
+  std::string_view line;
+  while (framer_.next(line)) ingest_line(line);
+  return stats_.parsed - parsed_before;
+}
+
+std::uint64_t ReplayEngine::finish_stream() {
+  std::string_view line;
+  if (!framer_.take_partial(line)) return 0;
+  ingest_line(line);
+  return 1;
+}
+
+ReplayStats ReplayEngine::replay(std::istream& in) {
+  const ReplayStats before = stats_;
+  const auto wall0 = std::chrono::steady_clock::now();
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof(buffer)), in.gcount() > 0) {
+    feed(std::string_view(buffer, static_cast<std::size_t>(in.gcount())));
+  }
+  // Batch EOF semantics: the closed stream's unterminated final line (if
+  // any) is done growing — parse it as a complete line.
+  (void)finish_stream();
+  const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
-  return stats;
+  stats_.wall_seconds += wall;
+  return {stats_.lines - before.lines, stats_.parsed - before.parsed,
+          stats_.skipped - before.skipped, wall};
 }
 
 }  // namespace divscrape::pipeline

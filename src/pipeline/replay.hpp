@@ -1,17 +1,33 @@
-// ReplayEngine: drives a detector pool from a recorded CLF log file — the
+// ReplayEngine: drives a detector pool from a recorded CLF log — the
 // deployment mode the paper's tools actually ran in (tailing Apache access
-// logs). Supports as-fast-as-possible batch replay and time-scaled pacing
-// for live demos.
+// logs). Two ingest surfaces share one framing/parsing/stamping path:
+//
+//   * replay(istream): batch mode over a complete stream. At EOF a final
+//     line without a trailing newline is flushed as a complete line — the
+//     historical getline behavior, kept deliberately (a closed log file's
+//     last line is done growing, however it ended).
+//   * feed(chunk) + finish_stream(): incremental mode for live tailing.
+//     feed() accepts arbitrary byte chunks (torn anywhere, including inside
+//     a CRLF pair) and processes only fully '\n'-terminated lines; the
+//     trailing partial is held until its newline arrives. finish_stream()
+//     is the explicit end-of-stream declaration that flushes the partial —
+//     tail mode never calls it while the file may still grow.
+//
+// Both modes support as-fast-as-possible replay and time-scaled pacing for
+// live demos.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <istream>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/joiner.hpp"
 #include "detectors/detector.hpp"
-#include "httplog/io.hpp"
+#include "httplog/framing.hpp"
+#include "httplog/pacer.hpp"
 #include "util/interner.hpp"
 
 namespace divscrape::pipeline {
@@ -27,27 +43,63 @@ class ReplayEngine {
  public:
   /// `time_scale`: 0 replays as fast as possible; x > 0 sleeps so that one
   /// simulated second takes 1/x wall seconds (e.g. 60 = minute-per-second).
+  /// Pacing is anchored at the first record the engine ever ingests.
   ///
   /// The pool is reset() on construction (mirroring core::run_experiment):
   /// the engine stamps records with tokens from its own interner, and any
   /// token-keyed detector state from a previous source would be meaningless
   /// — or worse, silently wrong — under this engine's token space. Repeated
-  /// replay() calls on one engine share the interner and accumulate state
-  /// (the multi-file log-tailing use case).
+  /// replay()/feed() calls on one engine share the interner and accumulate
+  /// state (the multi-file log-tailing use case).
   explicit ReplayEngine(
       const std::vector<std::unique_ptr<detectors::Detector>>& pool,
       double time_scale = 0.0);
 
-  /// Replays every parseable record of the stream through the pool.
+  /// Replays every parseable record of the stream through the pool,
+  /// including an unterminated final line. Returns the stats delta for
+  /// this stream (wall_seconds covers just this call).
   ReplayStats replay(std::istream& in);
+
+  /// Incremental ingest: frames the chunk into lines and processes every
+  /// line completed so far. Safe to call with chunks split at any byte
+  /// boundary. Returns the number of records parsed from this chunk.
+  std::uint64_t feed(std::string_view chunk);
+
+  /// Declares end-of-stream: an unterminated trailing partial line (if
+  /// any) is processed as a complete line. Returns 1 if a line was
+  /// flushed, 0 otherwise.
+  std::uint64_t finish_stream();
+
+  /// True while an unterminated partial line is buffered.
+  [[nodiscard]] bool has_partial_line() const noexcept {
+    return framer_.has_partial();
+  }
+  /// Size of that partial in bytes. A resume checkpoint must subtract this
+  /// from the fed-byte count: those bytes were accepted but not ingested.
+  [[nodiscard]] std::size_t partial_bytes() const noexcept {
+    return framer_.buffered();
+  }
+  /// Drops the buffered partial line without ingesting it (the tailer uses
+  /// this when the underlying file is truncated under the partial).
+  void drop_partial_line() { framer_.reset(); }
+
+  /// Cumulative framing/parsing accounting across every replay()/feed()
+  /// call on this engine. wall_seconds accumulates batch replay() time
+  /// only; feed() callers own their clock.
+  [[nodiscard]] const ReplayStats& stats() const noexcept { return stats_; }
 
   [[nodiscard]] const core::JointResults& results() const noexcept {
     return joiner_.results();
   }
 
  private:
+  void ingest_line(std::string_view line);
+
   core::AlertJoiner joiner_;
   util::StringInterner ua_tokens_;  ///< stamps parsed records at ingest
+  httplog::LineFramer framer_;
+  httplog::Pacer pacer_;
+  ReplayStats stats_;
   double time_scale_;
 };
 

@@ -1,0 +1,119 @@
+#include "pipeline/tailer.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace divscrape::pipeline {
+
+LogTailer::LogTailer(std::string path, ReplayEngine& engine, Config config)
+    : path_(std::move(path)),
+      engine_(&engine),
+      config_(config),
+      engine_base_(engine.stats()) {}
+
+LogTailer::~LogTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool LogTailer::open_current() {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  inode_ = static_cast<std::uint64_t>(st.st_ino);
+  consumed_ = 0;
+  return true;
+}
+
+bool LogTailer::resume(const Checkpoint& cp) {
+  base_ = cp;
+  base_.offset = 0;  // position is tracked live, not via the baseline
+  base_.inode = 0;
+  if (!open_current()) return false;
+  if (cp.inode == 0 || cp.inode != inode_) return false;
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) return false;
+  if (static_cast<std::uint64_t>(st.st_size) < cp.offset) {
+    // Truncated below the committed offset while we were down: the bytes
+    // the offset referred to are gone, restart this incarnation.
+    ++truncations_;
+    return false;
+  }
+  if (::lseek(fd_, static_cast<off_t>(cp.offset), SEEK_SET) < 0) return false;
+  consumed_ = cp.offset;
+  return true;
+}
+
+std::size_t LogTailer::drain_fd() {
+  std::size_t total = 0;
+  std::vector<char> buffer(config_.chunk_bytes);
+  for (;;) {
+    const ssize_t n = ::read(fd_, buffer.data(), buffer.size());
+    if (n <= 0) break;
+    engine_->feed(std::string_view(buffer.data(),
+                                   static_cast<std::size_t>(n)));
+    consumed_ += static_cast<std::uint64_t>(n);
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+std::size_t LogTailer::poll() {
+  std::size_t total = 0;
+  for (;;) {
+    if (fd_ < 0 && !open_current()) return total;  // not created yet
+    total += drain_fd();
+
+    // Truncate-and-restart: the open incarnation shrank below what we
+    // already consumed (`> access.log`). The buffered partial line's bytes
+    // no longer exist — drop it and restart from offset 0.
+    struct stat fd_st {};
+    if (::fstat(fd_, &fd_st) == 0 &&
+        static_cast<std::uint64_t>(fd_st.st_size) < consumed_) {
+      engine_->drop_partial_line();
+      consumed_ = 0;
+      ++truncations_;
+      if (::lseek(fd_, 0, SEEK_SET) < 0) return total;
+      continue;  // re-drain the restarted file
+    }
+
+    // Rotation: the path now names a different inode (rename + recreate).
+    // Drain the renamed-away descriptor once more before switching — a
+    // writer that had not yet reopened its log keeps appending to the old
+    // inode after our drain above — then carry any torn partial line
+    // across to the new incarnation in the framer.
+    struct stat path_st {};
+    if (::stat(path_.c_str(), &path_st) != 0) return total;  // renamed away
+    if (static_cast<std::uint64_t>(path_st.st_ino) == inode_) return total;
+    total += drain_fd();
+    if (!open_current()) return total;
+    ++rotations_;
+  }
+}
+
+Checkpoint LogTailer::checkpoint() const {
+  Checkpoint cp = base_;
+  cp.inode = inode_;
+  const auto partial =
+      static_cast<std::uint64_t>(engine_->partial_bytes());
+  // A partial spanning a rotation boundary can exceed the bytes consumed
+  // from the current file; clamp (see header caveat).
+  cp.offset = consumed_ > partial ? consumed_ - partial : 0;
+  const ReplayStats& now = engine_->stats();
+  cp.lines += now.lines - engine_base_.lines;
+  cp.parsed += now.parsed - engine_base_.parsed;
+  cp.skipped += now.skipped - engine_base_.skipped;
+  cp.rotations += rotations_;
+  cp.truncations += truncations_;
+  return cp;
+}
+
+}  // namespace divscrape::pipeline

@@ -1,0 +1,100 @@
+// LogTailer: follows a growing CLF file the way the paper's tools followed
+// live Apache access logs — poll-based (no inotify dependency), tolerant of
+// the three things production log files actually do:
+//
+//   * grow by arbitrary, torn increments (a write() can land mid-record,
+//     even mid-CRLF) — handled by feeding raw bytes to the engine's
+//     LineFramer, which holds partials until the newline arrives;
+//   * rotate (rename + recreate): detected when the path's inode no longer
+//     matches the open descriptor. The old file is drained to EOF first,
+//     then ingest continues at offset 0 of the new incarnation; a partial
+//     line torn across the rotation boundary is carried over in memory, so
+//     the ingested byte stream equals the concatenation of the files.
+//     Caveat (shared with tail -F): only the incarnation the descriptor
+//     holds and the one the path names are reachable — if TWO rotations
+//     complete between polls, the middle incarnation is never opened and
+//     its records are lost. Poll faster than the rotation cadence;
+//   * truncate-and-restart (`> access.log`): detected when the descriptor's
+//     size drops below the consumed offset. The buffered partial (whose
+//     bytes no longer exist) is dropped and ingest restarts at offset 0.
+//     Inherent limit of size-based detection (shared with tail -F): if the
+//     restarted file regrows PAST the consumed offset between two polls,
+//     the truncation is invisible and the bytes below the old offset are
+//     skipped. Poll faster than the log can regrow, or rotate instead of
+//     truncating (rotation is detected by inode and has no such window).
+//
+// poll() is synchronous and drains everything currently available; callers
+// own the wait loop (the CLI sleeps between polls, tests interleave polls
+// with writer faults deterministically). checkpoint()/resume() provide the
+// kill-and-continue story documented in checkpoint.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pipeline/checkpoint.hpp"
+#include "pipeline/replay.hpp"
+
+namespace divscrape::pipeline {
+
+struct TailConfig {
+  std::size_t chunk_bytes = 64 * 1024;  ///< read() granularity
+};
+
+class LogTailer {
+ public:
+  using Config = TailConfig;
+
+  /// The engine must outlive the tailer. The file may not exist yet;
+  /// poll() keeps trying to open it.
+  LogTailer(std::string path, ReplayEngine& engine, Config config = Config());
+  ~LogTailer();
+
+  LogTailer(const LogTailer&) = delete;
+  LogTailer& operator=(const LogTailer&) = delete;
+
+  /// Resumes from a saved checkpoint; call before the first poll(). Seeks
+  /// to the committed offset when the file's inode still matches the
+  /// checkpoint; otherwise (rotated/replaced while down) starts from
+  /// offset 0 of the current incarnation. Cumulative accounting is adopted
+  /// either way. Returns whether the offset was honored.
+  bool resume(const Checkpoint& cp);
+
+  /// Drains all bytes currently available, following rotations and
+  /// truncations as described above. Returns the number of bytes consumed
+  /// (0 = caught up / file absent).
+  std::size_t poll();
+
+  /// Committed position + cumulative accounting, safe to persist. The
+  /// offset excludes any buffered partial line (those bytes are re-read on
+  /// resume). Caveat: while a partial line spans a rotation boundary the
+  /// carried-over bytes exist only in memory; a checkpoint taken in that
+  /// window resumes at offset 0 of the new file and that one torn record
+  /// is lost.
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  [[nodiscard]] std::uint64_t rotations() const noexcept {
+    return rotations_;
+  }
+  [[nodiscard]] std::uint64_t truncations() const noexcept {
+    return truncations_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  bool open_current();      ///< (re)opens path_, captures its inode
+  std::size_t drain_fd();   ///< reads the open descriptor to EOF
+
+  std::string path_;
+  ReplayEngine* engine_;
+  Config config_;
+  int fd_ = -1;
+  std::uint64_t inode_ = 0;
+  std::uint64_t consumed_ = 0;  ///< bytes fed from the current incarnation
+  std::uint64_t rotations_ = 0;
+  std::uint64_t truncations_ = 0;
+  ReplayStats engine_base_;  ///< engine stats at construction/adoption
+  Checkpoint base_;          ///< accounting carried in via resume()
+};
+
+}  // namespace divscrape::pipeline

@@ -1,0 +1,80 @@
+#include "traffic/stream_writer.hpp"
+
+#include <cstdio>
+
+#include "httplog/clf.hpp"
+
+namespace divscrape::traffic {
+
+StreamWriter::StreamWriter(std::string path, FaultPlan plan)
+    : path_(std::move(path)), plan_(plan), rng_(plan.seed) {
+  open_fresh();
+}
+
+StreamWriter::~StreamWriter() = default;
+
+void StreamWriter::open_fresh() {
+  out_.close();
+  out_.clear();
+  out_.open(path_, std::ios::trunc | std::ios::binary);
+}
+
+void StreamWriter::write_bytes(std::string_view bytes) {
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out_.flush();
+  bytes_ += bytes.size();
+}
+
+void StreamWriter::write_line(std::string_view line, std::string_view ending) {
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.write(ending.data(), static_cast<std::streamsize>(ending.size()));
+  out_.flush();
+  bytes_ += line.size() + ending.size();
+}
+
+void StreamWriter::write(const httplog::LogRecord& record) {
+  ++records_;
+  std::string wire = httplog::format_clf(record);
+  const bool crlf = plan_.crlf_every != 0 && records_ % plan_.crlf_every == 0;
+  wire += crlf ? "\r\n" : "\n";
+  const bool torn = plan_.tear_every != 0 && records_ % plan_.tear_every == 0;
+  if (torn && wire.size() >= 2) {
+    // Split anywhere strictly inside the line, CRLF interior included.
+    const auto cut = static_cast<std::size_t>(
+        rng_.uniform_int(1, static_cast<std::int64_t>(wire.size()) - 1));
+    write_bytes(std::string_view(wire).substr(0, cut));
+    write_bytes(std::string_view(wire).substr(cut));
+  } else {
+    write_bytes(wire);
+  }
+  if (plan_.rotate_every != 0 && records_ % plan_.rotate_every == 0) {
+    rotate(path_ + "." + std::to_string(++rotation_count_));
+  }
+}
+
+std::size_t StreamWriter::pump(Scenario& scenario, std::size_t max_records,
+                               double time_scale) {
+  std::size_t written = 0;
+  httplog::LogRecord record;
+  while (written < max_records && scenario.next(record)) {
+    pacer_.wait_until(record.time, time_scale);
+    write(record);
+    ++written;
+  }
+  return written;
+}
+
+void StreamWriter::rotate(const std::string& rotated_path) {
+  out_.close();
+  std::rename(path_.c_str(), rotated_path.c_str());
+  open_fresh();
+}
+
+void StreamWriter::truncate_restart() {
+  // Reopen with trunc on the same path: contents drop to zero length but
+  // the inode is preserved, which is exactly the case the tailer must
+  // distinguish from rotation.
+  open_fresh();
+}
+
+}  // namespace divscrape::traffic

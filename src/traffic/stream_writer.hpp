@@ -1,0 +1,102 @@
+// StreamWriter: pumps generated traffic into a growing CLF file the way a
+// busy Apache worker pool writes a live access log — so tests, demos and
+// benches can run deployment-shaped (tail-the-file) workloads without real
+// infrastructure.
+//
+// Beyond plain append-a-line-per-record, the writer can inject the stream
+// faults a tailer must survive, either scripted via FaultPlan (every Nth
+// record) or explicitly via the fault methods (tests that need exact
+// control over byte boundaries):
+//
+//   * torn writes — a record's line lands in two flushed pieces split at an
+//     arbitrary byte (including inside the CRLF terminator), simulating a
+//     write() that raced the poll;
+//   * CRLF line endings — some writers terminate with "\r\n";
+//   * rotation — rename the live file away and recreate it (logrotate);
+//   * truncate-and-restart — `> access.log` in place, same inode.
+//
+// All writes are flushed to the OS immediately: the whole point is that a
+// concurrent reader observes every intermediate state.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "httplog/pacer.hpp"
+#include "httplog/record.hpp"
+#include "stats/rng.hpp"
+#include "traffic/scenario.hpp"
+
+namespace divscrape::traffic {
+
+/// Scripted fault injection; 0 disables a fault kind.
+struct StreamFaultPlan {
+  std::uint64_t tear_every = 0;    ///< split every Nth record's line
+  std::uint64_t crlf_every = 0;    ///< end every Nth line with "\r\n"
+  std::uint64_t rotate_every = 0;  ///< rotate after every Nth record
+  std::uint64_t seed = 1;          ///< tear-point RNG seed
+};
+
+class StreamWriter {
+ public:
+  using FaultPlan = StreamFaultPlan;
+
+  /// Creates/truncates `path` and appends from there.
+  explicit StreamWriter(std::string path, FaultPlan plan = FaultPlan());
+  ~StreamWriter();
+
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  /// Appends one record as a CLF line, applying any scripted faults that
+  /// are due, and flushes.
+  void write(const httplog::LogRecord& record);
+
+  /// Pumps up to `max_records` from the scenario through write(). With
+  /// `time_scale` > 0 each record is delayed so one simulated second takes
+  /// 1/time_scale wall seconds (live-demo pacing); 0 writes flat out.
+  /// Returns the number of records written (may be short at stream end).
+  std::size_t pump(Scenario& scenario, std::size_t max_records,
+                   double time_scale = 0.0);
+
+  // --- explicit fault controls (tests drive byte-exact scenarios) ---
+
+  /// Appends raw bytes with no terminator and flushes: the first half of a
+  /// torn write. Callers complete the line with another write_bytes().
+  void write_bytes(std::string_view bytes);
+
+  /// Appends one full line with the given terminator and flushes.
+  void write_line(std::string_view line, std::string_view ending = "\n");
+
+  /// logrotate: renames the live file to `rotated_path` and recreates the
+  /// live path empty (new inode).
+  void rotate(const std::string& rotated_path);
+
+  /// `> path`: truncates the live file in place (same inode); appending
+  /// restarts at offset 0.
+  void truncate_restart();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void open_fresh();
+
+  std::string path_;
+  FaultPlan plan_;
+  stats::Rng rng_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t rotation_count_ = 0;
+  httplog::Pacer pacer_;  ///< pump() pacing anchor
+};
+
+}  // namespace divscrape::traffic

@@ -1,0 +1,36 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace divscrape::util {
+
+bool write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      ::close(fd);
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync before rename: journaled filesystems may commit the rename ahead
+  // of the data blocks, and a truncated checkpoint after power loss is the
+  // exact failure this function exists to prevent.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace divscrape::util

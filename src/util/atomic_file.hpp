@@ -1,0 +1,18 @@
+// Atomic whole-file writes: checkpoint saves and periodic results flushes
+// are read by other processes (operators, dashboards) while we rewrite
+// them, and a crash mid-write must leave the previous version intact. The
+// only portable way to get both is write-a-sibling-then-rename; this is
+// the one implementation of that pattern.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace divscrape::util {
+
+/// Writes `contents` to `<path>.tmp`, flushes, and renames over `path`.
+/// Returns false (leaving `path` untouched) on any failure.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::string_view contents);
+
+}  // namespace divscrape::util

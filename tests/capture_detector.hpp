@@ -1,0 +1,47 @@
+// Test spy: a Detector that records the CLF wire form of every record it
+// evaluates into an external sink. Lets the streaming-ingest tests assert
+// record-exact delivery (no loss, no duplication, original order) rather
+// than just matching aggregate counters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detectors/detector.hpp"
+#include "httplog/clf.hpp"
+
+namespace divscrape_test {
+
+class CaptureDetector : public divscrape::detectors::Detector {
+ public:
+  /// The sink outlives the detector; it deliberately survives reset() so a
+  /// restarted deployment (ReplayEngine resets its pool on construction)
+  /// appends to the same capture log.
+  explicit CaptureDetector(std::vector<std::string>* sink) : sink_(sink) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "capture";
+  }
+
+  [[nodiscard]] divscrape::detectors::Verdict evaluate(
+      const divscrape::httplog::LogRecord& record) override {
+    sink_->push_back(divscrape::httplog::format_clf(record));
+    return {};
+  }
+
+  void reset() override {}
+
+ private:
+  std::vector<std::string>* sink_;
+};
+
+inline std::vector<std::unique_ptr<divscrape::detectors::Detector>>
+capture_pool(std::vector<std::string>* sink) {
+  std::vector<std::unique_ptr<divscrape::detectors::Detector>> pool;
+  pool.push_back(std::make_unique<CaptureDetector>(sink));
+  return pool;
+}
+
+}  // namespace divscrape_test

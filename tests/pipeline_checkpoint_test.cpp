@@ -1,0 +1,273 @@
+// Checkpointed-resume tests: the exactly-once ingest contract documented
+// in checkpoint.hpp. A tailer killed at an arbitrary point — between
+// records, mid-torn-write, after a rotation — and resumed from its saved
+// checkpoint must deliver every record exactly once: the capture logs of
+// the two engine incarnations concatenate to precisely the one-shot
+// record sequence, and the cumulative accounting survives the JSON
+// serialize -> parse round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "capture_detector.hpp"
+#include "httplog/clf.hpp"
+#include "pipeline/checkpoint.hpp"
+#include "pipeline/replay.hpp"
+#include "pipeline/tailer.hpp"
+#include "stats/rng.hpp"
+#include "traffic/scenario.hpp"
+#include "traffic/stream_writer.hpp"
+
+namespace {
+
+using namespace divscrape;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "divscrape_cp_" + name;
+}
+
+std::vector<httplog::LogRecord> smoke_records(std::size_t count) {
+  auto config = traffic::smoke_test();
+  traffic::Scenario scenario(config);
+  std::vector<httplog::LogRecord> records;
+  httplog::LogRecord r;
+  while (records.size() < count && scenario.next(r)) records.push_back(r);
+  return records;
+}
+
+std::vector<std::string> wire_lines(
+    const std::vector<httplog::LogRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const auto& r : records) lines.push_back(httplog::format_clf(r));
+  return lines;
+}
+
+TEST(Checkpoint, JsonRoundTripPreservesEveryField) {
+  pipeline::Checkpoint cp;
+  cp.inode = 1234567;
+  cp.offset = 987654321;
+  cp.lines = 1000;
+  cp.parsed = 990;
+  cp.skipped = 10;
+  cp.rotations = 3;
+  cp.truncations = 1;
+  const auto parsed = pipeline::Checkpoint::from_json(cp.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == cp);
+}
+
+TEST(Checkpoint, RejectsMalformedInput) {
+  EXPECT_FALSE(pipeline::Checkpoint::from_json("").has_value());
+  EXPECT_FALSE(pipeline::Checkpoint::from_json("{}").has_value());
+  EXPECT_FALSE(pipeline::Checkpoint::from_json(
+                   "{\"schema\":\"divscrape.bench_throughput.v1\"}")
+                   .has_value());
+  // Right schema, missing members.
+  EXPECT_FALSE(pipeline::Checkpoint::from_json(
+                   "{\"schema\":\"divscrape.checkpoint.v1\",\"offset\":3}")
+                   .has_value());
+}
+
+TEST(Checkpoint, SaveIsAtomicAndLoadsBack) {
+  const auto path = temp_path("save_load.json");
+  pipeline::Checkpoint cp;
+  cp.inode = 42;
+  cp.offset = 4096;
+  cp.parsed = 17;
+  ASSERT_TRUE(cp.save(path));
+  const auto loaded = pipeline::Checkpoint::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == cp);
+  // The temp sibling must not linger after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+  EXPECT_FALSE(pipeline::Checkpoint::load(path).has_value());
+}
+
+// Kill the tailer at a random record index (checkpointing through a JSON
+// round trip, as a real process restart would), resume with a fresh
+// engine + tailer, and require exactly-once delivery.
+TEST(Checkpoint, KillAndResumeNeverReingestsOrDrops) {
+  const auto records = smoke_records(120);
+  ASSERT_EQ(records.size(), 120u);
+  const auto expected = wire_lines(records);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    stats::Rng rng(seed);
+    const auto kill_at = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(records.size()) - 2));
+    const auto log = temp_path("kill_" + std::to_string(seed) + ".log");
+    traffic::StreamWriter writer(log);
+
+    std::vector<std::string> captured;
+    pipeline::Checkpoint saved;
+    {
+      const auto pool = divscrape_test::capture_pool(&captured);
+      pipeline::ReplayEngine engine(pool);
+      pipeline::LogTailer tailer(log, engine);
+      for (std::size_t i = 0; i < kill_at; ++i) {
+        writer.write(records[i]);
+        if (rng.bernoulli(0.4)) (void)tailer.poll();
+      }
+      (void)tailer.poll();
+      const auto cp = tailer.checkpoint();
+      EXPECT_EQ(cp.parsed, kill_at);
+      // Through the wire, exactly as a restart would read it back.
+      const auto roundtrip = pipeline::Checkpoint::from_json(cp.to_json());
+      ASSERT_TRUE(roundtrip.has_value());
+      EXPECT_TRUE(*roundtrip == cp);
+      saved = *roundtrip;
+    }  // tailer + engine die here: the "kill"
+
+    {
+      const auto pool = divscrape_test::capture_pool(&captured);
+      pipeline::ReplayEngine engine(pool);
+      pipeline::LogTailer tailer(log, engine);
+      EXPECT_TRUE(tailer.resume(saved));
+      for (std::size_t i = kill_at; i < records.size(); ++i) {
+        writer.write(records[i]);
+        if (rng.bernoulli(0.4)) (void)tailer.poll();
+      }
+      (void)tailer.poll();
+      const auto final_cp = tailer.checkpoint();
+      EXPECT_EQ(final_cp.parsed, records.size());
+      EXPECT_EQ(final_cp.lines, records.size());
+      EXPECT_EQ(final_cp.skipped, 0u);
+    }
+    EXPECT_EQ(captured, expected) << "seed " << seed;
+    std::remove(log.c_str());
+  }
+}
+
+// Kill while a torn write is in flight: the checkpoint's offset must stop
+// at the last completed line, and resume must re-read the torn prefix from
+// the file so the record is delivered exactly once when its tail arrives.
+TEST(Checkpoint, KillMidTornWriteReplaysOnlyThePartial) {
+  const auto records = smoke_records(20);
+  ASSERT_EQ(records.size(), 20u);
+  const auto log = temp_path("torn.log");
+  traffic::StreamWriter writer(log);
+
+  std::vector<std::string> captured;
+  pipeline::Checkpoint saved;
+  const std::string torn = httplog::format_clf(records[10]) + "\n";
+  std::uint64_t committed_offset = 0;
+  {
+    const auto pool = divscrape_test::capture_pool(&captured);
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log, engine);
+    for (std::size_t i = 0; i < 10; ++i) writer.write(records[i]);
+    (void)tailer.poll();
+    committed_offset = writer.bytes_written();
+    writer.write_bytes(std::string_view(torn).substr(0, torn.size() / 2));
+    (void)tailer.poll();  // sees the torn prefix, holds it as a partial
+    EXPECT_TRUE(engine.has_partial_line());
+    const auto cp = tailer.checkpoint();
+    EXPECT_EQ(cp.offset, committed_offset);  // partial bytes not committed
+    EXPECT_EQ(cp.parsed, 10u);
+    saved = cp;
+  }
+
+  {
+    const auto pool = divscrape_test::capture_pool(&captured);
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log, engine);
+    EXPECT_TRUE(tailer.resume(saved));
+    writer.write_bytes(std::string_view(torn).substr(torn.size() / 2));
+    for (std::size_t i = 11; i < records.size(); ++i) writer.write(records[i]);
+    (void)tailer.poll();
+    EXPECT_EQ(tailer.checkpoint().parsed, records.size());
+  }
+  EXPECT_EQ(captured, wire_lines(records));
+  std::remove(log.c_str());
+}
+
+// Rotation happens while the tailer is up; the kill happens afterwards, so
+// the checkpoint refers to the *new* incarnation. Resume must honor it.
+TEST(Checkpoint, RotatedFileThenResume) {
+  const auto records = smoke_records(90);
+  ASSERT_EQ(records.size(), 90u);
+  const auto log = temp_path("rotated.log");
+  const auto rotated = log + ".1";
+  traffic::StreamWriter writer(log);
+
+  std::vector<std::string> captured;
+  pipeline::Checkpoint saved;
+  {
+    const auto pool = divscrape_test::capture_pool(&captured);
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log, engine);
+    for (std::size_t i = 0; i < 30; ++i) writer.write(records[i]);
+    (void)tailer.poll();
+    writer.rotate(rotated);
+    for (std::size_t i = 30; i < 60; ++i) writer.write(records[i]);
+    (void)tailer.poll();  // follows the rotation into the new file
+    EXPECT_EQ(tailer.rotations(), 1u);
+    const auto cp = tailer.checkpoint();
+    EXPECT_EQ(cp.parsed, 60u);
+    EXPECT_EQ(cp.rotations, 1u);
+    saved = cp;
+  }
+
+  {
+    const auto pool = divscrape_test::capture_pool(&captured);
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log, engine);
+    EXPECT_TRUE(tailer.resume(saved));  // inode is the new incarnation's
+    for (std::size_t i = 60; i < records.size(); ++i) writer.write(records[i]);
+    (void)tailer.poll();
+    const auto cp = tailer.checkpoint();
+    EXPECT_EQ(cp.parsed, records.size());
+    EXPECT_EQ(cp.rotations, 1u);  // cumulative count carried through resume
+  }
+  EXPECT_EQ(captured, wire_lines(records));
+  std::remove(log.c_str());
+  std::remove(rotated.c_str());
+}
+
+// The file was rotated away and recreated while the process was down: the
+// checkpoint's inode no longer matches, so the offset is discarded and the
+// new incarnation is read from 0 — still exactly-once, because the old
+// incarnation's records were all committed before the kill.
+TEST(Checkpoint, ReplacedWhileDownRestartsAtZeroWithoutDuplicates) {
+  const auto records = smoke_records(50);
+  ASSERT_EQ(records.size(), 50u);
+  const auto log = temp_path("replaced.log");
+  const auto rotated = log + ".1";
+  traffic::StreamWriter writer(log);
+
+  std::vector<std::string> captured;
+  pipeline::Checkpoint saved;
+  {
+    const auto pool = divscrape_test::capture_pool(&captured);
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log, engine);
+    for (std::size_t i = 0; i < 25; ++i) writer.write(records[i]);
+    (void)tailer.poll();
+    saved = tailer.checkpoint();
+    EXPECT_EQ(saved.parsed, 25u);
+  }
+
+  writer.rotate(rotated);  // logrotate ran while we were down
+  for (std::size_t i = 25; i < records.size(); ++i) writer.write(records[i]);
+
+  {
+    const auto pool = divscrape_test::capture_pool(&captured);
+    pipeline::ReplayEngine engine(pool);
+    pipeline::LogTailer tailer(log, engine);
+    EXPECT_FALSE(tailer.resume(saved));  // inode mismatch: offset discarded
+    (void)tailer.poll();
+    const auto cp = tailer.checkpoint();
+    EXPECT_EQ(cp.parsed, records.size());
+  }
+  EXPECT_EQ(captured, wire_lines(records));
+  std::remove(log.c_str());
+  std::remove(rotated.c_str());
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 //
 //   divscrape generate  [opts]   write a simulated CLF access log to stdout
 //   divscrape analyze   <log>    run the two detectors over a CLF file
+//   divscrape tail      <log>    follow a growing CLF file (deployment mode)
 //   divscrape tables    [opts]   regenerate the paper's four tables
 //   divscrape export    [opts]   run the experiment, emit JSON results
 //   divscrape label     <log>    heuristically label a CLF file (paper §V)
@@ -12,12 +13,22 @@
 //   --scale <s>         shorthand for --set scenario.scale=s
 //   --alerts <file>     (analyze) also write a JSONL alert log
 //   --csv <prefix>      (export) also write <prefix>_{totals,pairs,status}.csv
+//
+// Tail options:
+//   --checkpoint <file> resume from / persist an ingest checkpoint
+//   --follow            keep polling after catching up (stop with SIGINT)
+//   --poll-ms <n>       follow-mode poll interval (default 200)
+//   --results <file>    periodically flush JointResults JSON (atomic rename)
+//   --flush-every <n>   flush results/checkpoint every n parsed records
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/config.hpp"
@@ -31,7 +42,11 @@
 #include "detectors/sentinel.hpp"
 #include "httplog/io.hpp"
 #include "pipeline/alert_log.hpp"
+#include "pipeline/checkpoint.hpp"
+#include "pipeline/replay.hpp"
+#include "pipeline/tailer.hpp"
 #include "traffic/scenario.hpp"
+#include "util/atomic_file.hpp"
 #include "util/interner.hpp"
 
 using namespace divscrape;
@@ -43,18 +58,29 @@ struct CliOptions {
   std::string input;
   std::string alerts_path;
   std::string csv_prefix;
+  std::string checkpoint_path;
+  std::string results_path;
+  bool follow = false;
+  int poll_ms = 200;
+  std::uint64_t flush_every = 100000;
   core::KeyValueConfig config;
 };
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: divscrape <generate|analyze|tables|export|label> [options]\n"
-      "  --config <file>   load key=value configuration\n"
-      "  --set k=v         inline config override (repeatable)\n"
-      "  --scale <s>       scenario scale in (0,1]\n"
-      "  --alerts <file>   (analyze) write JSONL alert log\n"
-      "  --csv <prefix>    (export) also write CSV files\n");
+      "usage: divscrape <generate|analyze|tail|tables|export|label> "
+      "[options]\n"
+      "  --config <file>     load key=value configuration\n"
+      "  --set k=v           inline config override (repeatable)\n"
+      "  --scale <s>         scenario scale in (0,1]\n"
+      "  --alerts <file>     (analyze) write JSONL alert log\n"
+      "  --csv <prefix>      (export) also write CSV files\n"
+      "  --checkpoint <file> (tail) resume from / persist ingest position\n"
+      "  --follow            (tail) keep polling; SIGINT checkpoints + exits\n"
+      "  --poll-ms <n>       (tail) follow poll interval, default 200\n"
+      "  --results <file>    (tail) periodic JointResults JSON flush\n"
+      "  --flush-every <n>   (tail) flush cadence in parsed records\n");
   return 2;
 }
 
@@ -98,6 +124,29 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* prefix = next();
       if (!prefix) return false;
       opts.csv_prefix = prefix;
+    } else if (arg == "--checkpoint") {
+      const char* path = next();
+      if (!path) return false;
+      opts.checkpoint_path = path;
+    } else if (arg == "--results") {
+      const char* path = next();
+      if (!path) return false;
+      opts.results_path = path;
+    } else if (arg == "--follow") {
+      opts.follow = true;
+    } else if (arg == "--poll-ms") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      const long v = std::strtol(n, &end, 10);
+      if (end == n || *end != '\0' || v <= 0 || v > 3600000) return false;
+      opts.poll_ms = static_cast<int>(v);
+    } else if (arg == "--flush-every") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      opts.flush_every = std::strtoull(n, &end, 10);
+      if (end == n || *end != '\0' || opts.flush_every == 0) return false;
     } else if (!arg.empty() && arg[0] != '-' && opts.input.empty()) {
       opts.input = arg;
     } else {
@@ -193,6 +242,94 @@ int cmd_analyze(const CliOptions& opts) {
     std::printf("wrote %s alert events to %s\n",
                 core::with_thousands(alerts->written()).c_str(),
                 opts.alerts_path.c_str());
+  }
+  return 0;
+}
+
+volatile std::sig_atomic_t g_tail_interrupted = 0;
+
+void tail_sigint(int) { g_tail_interrupted = 1; }
+
+/// Atomic results flush: SOC dashboards read the file while we rewrite it,
+/// so the document replaces the previous one in a single rename.
+bool flush_results(const core::JointResults& results,
+                   const std::string& path) {
+  return util::write_file_atomic(path, core::to_json(results) + "\n");
+}
+
+int cmd_tail(const CliOptions& opts) {
+  if (opts.input.empty()) {
+    std::fprintf(stderr, "tail: missing <log> path\n");
+    return 2;
+  }
+  const auto pool = pair_from(opts.config);
+  pipeline::ReplayEngine engine(pool);
+  pipeline::LogTailer tailer(opts.input, engine);
+
+  if (!opts.checkpoint_path.empty()) {
+    if (const auto cp = pipeline::Checkpoint::load(opts.checkpoint_path)) {
+      const bool honored = tailer.resume(*cp);
+      std::fprintf(stderr,
+                   "resumed from %s: offset %llu %s (%llu records already "
+                   "ingested; detector state restarts cold)\n",
+                   opts.checkpoint_path.c_str(),
+                   static_cast<unsigned long long>(cp->offset),
+                   honored ? "honored" : "discarded (file replaced)",
+                   static_cast<unsigned long long>(cp->parsed));
+    }
+  }
+  if (opts.follow) std::signal(SIGINT, tail_sigint);
+
+  const auto persist = [&]() {
+    if (!opts.checkpoint_path.empty() &&
+        !tailer.checkpoint().save(opts.checkpoint_path)) {
+      std::fprintf(stderr, "cannot save checkpoint %s\n",
+                   opts.checkpoint_path.c_str());
+    }
+    if (!opts.results_path.empty() &&
+        !flush_results(engine.results(), opts.results_path)) {
+      std::fprintf(stderr, "cannot write results %s\n",
+                   opts.results_path.c_str());
+    }
+  };
+
+  std::uint64_t last_flush_parsed = 0;
+  for (;;) {
+    const std::size_t consumed = tailer.poll();
+    if (engine.stats().parsed - last_flush_parsed >= opts.flush_every) {
+      last_flush_parsed = engine.stats().parsed;
+      persist();
+    }
+    if (!opts.follow) break;  // one drain: batch-catch-up semantics
+    if (g_tail_interrupted) break;
+    if (consumed == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+    }
+  }
+  persist();
+
+  const auto cp = tailer.checkpoint();
+  const auto& r = engine.results();
+  std::printf(
+      "tailed %s: %s records parsed, %s lines skipped, %llu rotations, "
+      "%llu truncations%s\n",
+      opts.input.c_str(), core::with_thousands(cp.parsed).c_str(),
+      core::with_thousands(cp.skipped).c_str(),
+      static_cast<unsigned long long>(cp.rotations),
+      static_cast<unsigned long long>(cp.truncations),
+      engine.has_partial_line() ? " (1 partial line held un-ingested)" : "");
+  for (std::size_t d = 0; d < r.detector_count(); ++d) {
+    std::printf("  %-10s alerts %s\n", r.names()[d].c_str(),
+                core::with_thousands(r.alerts(d)).c_str());
+  }
+  if (r.detector_count() >= 2) {
+    const auto& pair = r.pair(0, 1);
+    std::printf(
+        "  both %s | neither %s | sentinel-only %s | arcane-only %s\n",
+        core::with_thousands(pair.both()).c_str(),
+        core::with_thousands(pair.neither()).c_str(),
+        core::with_thousands(pair.first_only()).c_str(),
+        core::with_thousands(pair.second_only()).c_str());
   }
   return 0;
 }
@@ -298,6 +435,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opts)) return usage();
   if (opts.command == "generate") return cmd_generate(opts);
   if (opts.command == "analyze") return cmd_analyze(opts);
+  if (opts.command == "tail") return cmd_tail(opts);
   if (opts.command == "tables") return cmd_tables(opts);
   if (opts.command == "export") return cmd_export(opts);
   if (opts.command == "label") return cmd_label(opts);
