@@ -1,33 +1,128 @@
 // Live-ingest throughput: StreamWriter pumps the paper-shaped workload
-// into a growing CLF file (torn writes enabled, like a real Apache worker
-// pool) while a LogTailer + ReplayEngine consumes it — the deployment-
-// shaped counterpart to bench_throughput's in-memory runs. A one-shot
-// batch replay of the finished file provides the comparison row, and the
-// two JointResults must serialize byte-identically or the bench exits
-// nonzero (same identity contract as bench_scaling).
+// into growing CLF files (torn writes enabled, like a real Apache worker
+// pool) while the tail stack consumes them — the deployment-shaped
+// counterpart to bench_throughput's in-memory runs. Four rows:
+//
+//   tail                one file  -> LogTailer + ReplayEngine
+//   tail_multi4         four vhost-style files (split by /24, the detector
+//                       state key) -> MultiTailer merge -> ReplayEngine
+//   tail_multi4_sharded same four files -> MultiTailer -> ShardedPipeline
+//                       at 2 shards
+//   batch_replay        one-shot replay of the single-file log
+//
+// Every live row's JointResults must serialize byte-identically to the
+// batch row's or the bench exits nonzero (the /24 split keeps all state-
+// sharing records in one file, so any per-file-order-preserving interleave
+// is equivalent — the same argument that makes ShardedPipeline exact).
 //
 // Usage: bench_tail [scale] [--json <path>]   (default scale 0.1)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/export.hpp"
 #include "detectors/registry.hpp"
+#include "httplog/ip.hpp"
+#include "pipeline/multi_tailer.hpp"
+#include "pipeline/replay.hpp"
+#include "pipeline/sharded.hpp"
 #include "pipeline/tailer.hpp"
 #include "traffic/stream_writer.hpp"
+#include "util/interner.hpp"
+
+namespace {
+
+using namespace divscrape;
+
+constexpr std::size_t kMultiFiles = 4;
+constexpr std::size_t kShards = 2;
+
+std::uint32_t route(const httplog::LogRecord& record) {
+  // Per-vhost-style split that respects the detector state key: all
+  // records of one /24 land in one file (cf. ShardedPipeline::route).
+  const auto key = httplog::Ipv4Hash{}(record.ip.prefix(24));
+  return static_cast<std::uint32_t>(key % kMultiFiles);
+}
+
+struct MultiLogs {
+  std::vector<std::string> paths;
+  std::vector<std::unique_ptr<traffic::StreamWriter>> writers;
+
+  explicit MultiLogs(const std::string& prefix) {
+    for (std::size_t i = 0; i < kMultiFiles; ++i) {
+      paths.push_back(prefix + "." + std::to_string(i) + ".log");
+      traffic::StreamWriter::FaultPlan plan;
+      plan.tear_every = 97;  // keep the partial-line path hot per file
+      plan.seed = 1 + i;
+      writers.push_back(
+          std::make_unique<traffic::StreamWriter>(paths.back(), plan));
+    }
+  }
+  ~MultiLogs() {
+    for (const auto& p : paths) std::remove(p.c_str());
+  }
+  [[nodiscard]] std::uint64_t records_written() const {
+    std::uint64_t total = 0;
+    for (const auto& w : writers) total += w->records_written();
+    return total;
+  }
+};
+
+/// Generates the scenario, routing each record to its file while polling
+/// the tailer every batch. Returns wall seconds for the whole live loop.
+double pump_multi(MultiLogs& logs, pipeline::MultiTailer& tailer,
+                  double scale) {
+  traffic::Scenario scenario(traffic::amadeus_like(scale));
+  const auto t0 = std::chrono::steady_clock::now();
+  httplog::LogRecord record;
+  std::size_t pumped = 0;
+  while (scenario.next(record)) {
+    logs.writers[route(record)]->write(record);
+    if (++pumped % 4096 == 0) (void)tailer.poll();
+  }
+  (void)tailer.poll();
+  (void)tailer.flush();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool check_live_counts(const char* mode, const MultiLogs& logs,
+                       const pipeline::MultiTailer& tailer) {
+  if (tailer.stats().parsed != logs.records_written()) {
+    std::fprintf(stderr, "FAIL: %s tailed %llu of %llu written records\n",
+                 mode,
+                 static_cast<unsigned long long>(tailer.stats().parsed),
+                 static_cast<unsigned long long>(logs.records_written()));
+    return false;
+  }
+  return true;
+}
+
+bool check_identity(const char* mode, const std::string& live,
+                    const std::string& batch) {
+  if (live != batch) {
+    std::fprintf(stderr,
+                 "FAIL: %s results differ from one-shot batch replay\n",
+                 mode);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace divscrape;
-
   const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 0.1);
   std::printf("# live ingest: write + tail + detect, scale=%.3f\n\n", scale);
   const std::string log_path = "bench_tail.log";
 
   std::vector<bench::ThroughputRun> runs;
 
-  // Live: pump records to the file in batches, polling the tailer between
-  // batches. Wall time covers generation + CLF encode + write + tail +
+  // Single file, sequential: generation + CLF encode + write + tail +
   // parse + both detectors — the full deployment loop.
   std::string tail_results;
   {
@@ -55,28 +150,74 @@ int main(int argc, char** argv) {
     tail_results = core::to_json(engine.results());
   }
 
-  // Batch: one-shot replay of the very same file through a fresh pool.
+  // Batch: one-shot replay of the single-file log — the reference every
+  // live row must match byte-for-byte.
+  std::string batch_results;
   {
     const auto pool = detectors::make_paper_pair();
     pipeline::ReplayEngine engine(pool);
     std::ifstream in(log_path, std::ios::binary);
     const auto stats = engine.replay(in);
     runs.push_back({"batch_replay", 0, stats.parsed, stats.wall_seconds});
-    if (core::to_json(engine.results()) != tail_results) {
-      std::fprintf(stderr,
-                   "FAIL: tail results differ from one-shot batch replay\n");
-      return 1;
-    }
+    batch_results = core::to_json(engine.results());
+    if (!check_identity("tail", tail_results, batch_results)) return 1;
   }
   std::remove(log_path.c_str());
 
-  std::printf("  %-12s %12s %14s %14s\n", "mode", "wall(s)", "records/s",
+  // Four files, merged, sequential consumption.
+  {
+    MultiLogs logs(log_path + ".multi");
+    const auto pool = detectors::make_paper_pair();
+    pipeline::ReplayEngine engine(pool);
+    pipeline::MultiTailer tailer(
+        logs.paths,
+        [&engine](httplog::LogRecord&& record) {
+          engine.process_record(std::move(record));
+        });
+    const double wall = pump_multi(logs, tailer, scale);
+    if (!check_live_counts("tail_multi4", logs, tailer)) return 1;
+    runs.push_back({"tail_multi4", 0, tailer.stats().parsed, wall});
+    if (!check_identity("tail_multi4", core::to_json(engine.results()),
+                        batch_results))
+      return 1;
+  }
+
+  // Four files, merged, sharded consumption (2 worker threads).
+  {
+    MultiLogs logs(log_path + ".sharded");
+    pipeline::ShardedPipeline pipeline(
+        [] { return detectors::make_paper_pair(); }, kShards);
+    util::StringInterner ua_tokens;
+    pipeline::MultiTailer tailer(
+        logs.paths, [&](httplog::LogRecord&& record) {
+          record.ua_token = ua_tokens.intern(record.user_agent);
+          pipeline.process(std::move(record));
+        });
+    const auto t0 = std::chrono::steady_clock::now();
+    const double pump_wall = pump_multi(logs, tailer, scale);
+    const auto results = pipeline.finish();  // wall covers the join too
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    (void)pump_wall;
+    if (!check_live_counts("tail_multi4_sharded", logs, tailer)) return 1;
+    runs.push_back(
+        {"tail_multi4_sharded", kShards, tailer.stats().parsed, wall});
+    if (!check_identity("tail_multi4_sharded", core::to_json(results),
+                        batch_results))
+      return 1;
+  }
+
+  std::printf("  %-20s %12s %14s %14s\n", "mode", "wall(s)", "records/s",
               "ns/record");
   for (const auto& run : runs) {
-    std::printf("  %-12s %12.2f %14.0f %14.0f\n", run.mode.c_str(),
+    std::printf("  %-20s %12.2f %14.0f %14.0f\n", run.mode.c_str(),
                 run.wall_s, run.records_per_sec(), run.ns_per_record());
   }
-  std::printf("\n  identity: tail == batch_replay (byte-identical JSON)\n");
+  std::printf(
+      "\n  identity: every live mode == batch_replay (byte-identical "
+      "JSON)\n");
   std::printf("  peak RSS: %llu kB\n",
               static_cast<unsigned long long>(bench::peak_rss_kb()));
 

@@ -2,38 +2,75 @@
 
 namespace divscrape::httplog {
 
+void LineFramer::compact_carry() {
+  if (carry_pos_ == 0) return;
+  carry_.erase(0, carry_pos_);
+  carry_pos_ = 0;
+}
+
+void LineFramer::settle() {
+  compact_carry();
+  if (chunk_pos_ < chunk_.size()) {
+    carry_.append(chunk_.data() + chunk_pos_, chunk_.size() - chunk_pos_);
+  }
+  chunk_ = {};
+  chunk_pos_ = 0;
+}
+
 void LineFramer::feed(std::string_view chunk) {
-  compact();
-  buffer_.append(chunk.data(), chunk.size());
+  settle();
+  chunk_ = chunk;
+  chunk_pos_ = 0;
 }
 
 bool LineFramer::next(std::string_view& line) {
-  const auto nl = buffer_.find('\n', read_pos_);
-  if (nl == std::string::npos) return false;
-  line = std::string_view(buffer_).substr(read_pos_, nl - read_pos_);
-  read_pos_ = nl + 1;
+  if (carry_pos_ < carry_.size()) {
+    // Unconsumed carried bytes. A line may already end inside the carry
+    // (the feed-without-drain case: settle() moved whole lines in).
+    const auto cnl = carry_.find('\n', carry_pos_);
+    if (cnl != std::string::npos) {
+      line = std::string_view(carry_).substr(carry_pos_, cnl - carry_pos_);
+      carry_pos_ = cnl + 1;
+      return true;
+    }
+    // The carry is a partial line: complete it with the head of the
+    // current chunk (the one place a copy is required).
+    const auto nl = chunk_.find('\n', chunk_pos_);
+    if (nl == std::string_view::npos) {
+      settle();  // still no newline — extend the carry and wait
+      return false;
+    }
+    compact_carry();
+    carry_.append(chunk_.data() + chunk_pos_, nl - chunk_pos_);
+    chunk_pos_ = nl + 1;
+    line = carry_;
+    carry_pos_ = carry_.size();  // consumed; bytes stay for the view
+    return true;
+  }
+  compact_carry();  // drop the kept-alive previous line, if any
+  const auto nl = chunk_.find('\n', chunk_pos_);
+  if (nl == std::string_view::npos) {
+    settle();  // unframed tail becomes the new carry
+    return false;
+  }
+  line = chunk_.substr(chunk_pos_, nl - chunk_pos_);
+  chunk_pos_ = nl + 1;
   return true;
 }
 
 bool LineFramer::take_partial(std::string_view& line) {
-  compact();
-  if (buffer_.empty()) return false;
-  // The partial becomes the line; the buffer must survive until the caller
-  // is done with the view, so swap it out lazily via read_pos_.
-  line = buffer_;
-  read_pos_ = buffer_.size();
+  settle();
+  if (carry_.empty()) return false;
+  line = carry_;
+  carry_pos_ = carry_.size();  // buffer survives until the caller is done
   return true;
 }
 
 void LineFramer::reset() {
-  buffer_.clear();
-  read_pos_ = 0;
-}
-
-void LineFramer::compact() {
-  if (read_pos_ == 0) return;
-  buffer_.erase(0, read_pos_);
-  read_pos_ = 0;
+  carry_.clear();
+  carry_pos_ = 0;
+  chunk_ = {};
+  chunk_pos_ = 0;
 }
 
 }  // namespace divscrape::httplog

@@ -14,6 +14,14 @@
 //
 // That last distinction is deliberate and tested: a tailer that treated the
 // partial as complete would mis-parse every torn mid-record write.
+//
+// Framing is zero-copy on the hot path: feed() *borrows* the chunk, and
+// next() yields line views pointing straight into the caller's buffer;
+// only the trailing partial (torn-write tail) is ever copied into the
+// framer's carry buffer. The borrow imposes the one lifetime rule every
+// caller already follows: the fed chunk must stay alive and unmodified
+// until next() has returned false (or take_partial()/reset() ran) — i.e.
+// drain the framer before reusing the read buffer.
 #pragma once
 
 #include <cstddef>
@@ -25,11 +33,15 @@ namespace divscrape::httplog {
 /// Reassembles newline-terminated lines from arbitrary byte chunks.
 class LineFramer {
  public:
-  /// Appends a chunk of raw bytes to the frame buffer.
+  /// Borrows a chunk of raw bytes for framing. The chunk must outlive the
+  /// drain loop (every next() call until it returns false); any bytes of a
+  /// previously fed chunk that were not framed are copied into the carry
+  /// buffer first, so feeding without draining is allowed, just not free.
   void feed(std::string_view chunk);
 
   /// Yields the next complete ('\n'-terminated) line, without its
-  /// terminator. The view is valid until the next feed()/reset() call.
+  /// terminator. The view is valid until the next feed()/next()/reset()
+  /// call and may point into the fed chunk (see class comment).
   [[nodiscard]] bool next(std::string_view& line);
 
   /// End-of-stream: hands out the unterminated trailing bytes as one final
@@ -45,15 +57,22 @@ class LineFramer {
   /// last committed line end to the write frontier. A checkpoint must not
   /// advance past `consumed - buffered()`.
   [[nodiscard]] std::size_t buffered() const noexcept {
-    return buffer_.size() - read_pos_;
+    return (carry_.size() - carry_pos_) + (chunk_.size() - chunk_pos_);
   }
   [[nodiscard]] bool has_partial() const noexcept { return buffered() > 0; }
 
  private:
-  void compact();
+  /// Moves any unframed chunk tail into the carry buffer and drops the
+  /// borrowed view, restoring the self-contained between-chunks state.
+  void settle();
+  /// Erases the already-consumed carry prefix (kept around only so the
+  /// most recently yielded view stays valid until the next call).
+  void compact_carry();
 
-  std::string buffer_;
-  std::size_t read_pos_ = 0;  ///< start of unframed bytes within buffer_
+  std::string carry_;          ///< unframed bytes from previous chunks
+  std::size_t carry_pos_ = 0;  ///< start of unconsumed bytes within carry_
+  std::string_view chunk_;     ///< borrowed current chunk
+  std::size_t chunk_pos_ = 0;  ///< start of unframed bytes within chunk_
 };
 
 }  // namespace divscrape::httplog

@@ -11,7 +11,10 @@ namespace divscrape::pipeline {
 
 namespace {
 
-constexpr std::string_view kSchema = "divscrape.checkpoint.v1";
+constexpr std::string_view kSchema = "divscrape.checkpoint.v2";
+// v1 lacked sig_len/sig_hash/lost_incarnations; still loadable (they
+// default to 0 = unknown, so resume just skips the signature check).
+constexpr std::string_view kSchemaV1 = "divscrape.checkpoint.v1";
 
 // Finds `"key":` in a flat JSON object and parses the following bare
 // unsigned number (the only value type this schema uses besides the schema
@@ -38,19 +41,25 @@ std::string Checkpoint::to_json() const {
   json.key("schema").value(kSchema);
   json.key("inode").value(inode);
   json.key("offset").value(offset);
+  json.key("sig_len").value(sig_len);
+  json.key("sig_hash").value(sig_hash);
   json.key("lines").value(lines);
   json.key("parsed").value(parsed);
   json.key("skipped").value(skipped);
   json.key("rotations").value(rotations);
   json.key("truncations").value(truncations);
+  json.key("lost_incarnations").value(lost_incarnations);
   json.end_object();
   return os.str();
 }
 
 std::optional<Checkpoint> Checkpoint::from_json(std::string_view json) {
-  if (json.find("\"schema\":\"" + std::string(kSchema) + "\"") ==
-      std::string_view::npos)
-    return std::nullopt;
+  const auto has_schema = [&](std::string_view schema) {
+    return json.find("\"schema\":\"" + std::string(schema) + "\"") !=
+           std::string_view::npos;
+  };
+  const bool v2 = has_schema(kSchema);
+  if (!v2 && !has_schema(kSchemaV1)) return std::nullopt;
   Checkpoint cp;
   const auto inode = find_u64(json, "inode");
   const auto offset = find_u64(json, "offset");
@@ -69,6 +78,15 @@ std::optional<Checkpoint> Checkpoint::from_json(std::string_view json) {
   cp.skipped = *skipped;
   cp.rotations = *rotations;
   cp.truncations = *truncations;
+  if (v2) {
+    const auto sig_len = find_u64(json, "sig_len");
+    const auto sig_hash = find_u64(json, "sig_hash");
+    const auto lost = find_u64(json, "lost_incarnations");
+    if (!sig_len || !sig_hash || !lost) return std::nullopt;
+    cp.sig_len = *sig_len;
+    cp.sig_hash = *sig_hash;
+    cp.lost_incarnations = *lost;
+  }
   return cp;
 }
 

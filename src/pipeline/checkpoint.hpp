@@ -44,6 +44,14 @@ struct Checkpoint {
   /// lines and ingested. Always on a line boundary.
   std::uint64_t offset = 0;
 
+  /// Content signature of the incarnation `offset` refers to: FNV-1a hash
+  /// of the file's first `sig_len` bytes (up to 64; 0 = not yet captured).
+  /// Catches what the inode check cannot: the same inode truncated and
+  /// regrown past `offset` while we were away — resume verifies the prefix
+  /// still matches before honoring the offset.
+  std::uint64_t sig_len = 0;
+  std::uint64_t sig_hash = 0;
+
   // Cumulative accounting across the whole tailing session (survives
   // rotations, which reset `offset` but never these).
   std::uint64_t lines = 0;
@@ -51,10 +59,15 @@ struct Checkpoint {
   std::uint64_t skipped = 0;
   std::uint64_t rotations = 0;
   std::uint64_t truncations = 0;
+  /// Rotations where the pre-rotation partial line's stitched completion
+  /// failed to parse — the observable signature of a middle incarnation
+  /// lost to a double rotation between polls (see tailer.hpp).
+  std::uint64_t lost_incarnations = 0;
 
-  /// Serializes as one flat JSON object (schema divscrape.checkpoint.v1).
+  /// Serializes as one flat JSON object (schema divscrape.checkpoint.v2).
   [[nodiscard]] std::string to_json() const;
-  /// Parses what to_json() produces; nullopt on malformed input or a
+  /// Parses what to_json() produces; also accepts the v1 schema (the new
+  /// fields default to 0, i.e. "unknown"). nullopt on malformed input or a
   /// schema mismatch.
   [[nodiscard]] static std::optional<Checkpoint> from_json(
       std::string_view json);
@@ -65,9 +78,12 @@ struct Checkpoint {
   [[nodiscard]] static std::optional<Checkpoint> load(const std::string& path);
 
   friend bool operator==(const Checkpoint& a, const Checkpoint& b) noexcept {
-    return a.inode == b.inode && a.offset == b.offset && a.lines == b.lines &&
-           a.parsed == b.parsed && a.skipped == b.skipped &&
-           a.rotations == b.rotations && a.truncations == b.truncations;
+    return a.inode == b.inode && a.offset == b.offset &&
+           a.sig_len == b.sig_len && a.sig_hash == b.sig_hash &&
+           a.lines == b.lines && a.parsed == b.parsed &&
+           a.skipped == b.skipped && a.rotations == b.rotations &&
+           a.truncations == b.truncations &&
+           a.lost_incarnations == b.lost_incarnations;
   }
 };
 

@@ -1,0 +1,41 @@
+#include "pipeline/decoder.hpp"
+
+#include <utility>
+
+#include "httplog/clf.hpp"
+
+namespace divscrape::pipeline {
+
+LineDecoder::LineDecoder(RecordFn on_record)
+    : on_record_(std::move(on_record)) {}
+
+void LineDecoder::decode_line(std::string_view line) {
+  ++stats_.lines;
+  const bool spanned_boundary = partial_spans_boundary_;
+  partial_spans_boundary_ = false;
+  auto result = httplog::parse_clf(line);
+  if (!result.ok()) {
+    ++stats_.skipped;
+    if (spanned_boundary) ++boundary_skips_;
+    return;
+  }
+  ++stats_.parsed;
+  on_record_(std::move(*result.record));
+}
+
+std::uint64_t LineDecoder::feed(std::string_view chunk) {
+  const std::uint64_t parsed_before = stats_.parsed;
+  framer_.feed(chunk);
+  std::string_view line;
+  while (framer_.next(line)) decode_line(line);
+  return stats_.parsed - parsed_before;
+}
+
+std::uint64_t LineDecoder::finish_stream() {
+  std::string_view line;
+  if (!framer_.take_partial(line)) return 0;
+  decode_line(line);
+  return 1;
+}
+
+}  // namespace divscrape::pipeline

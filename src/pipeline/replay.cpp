@@ -1,53 +1,32 @@
 #include "pipeline/replay.hpp"
 
-#include "httplog/clf.hpp"
-
 namespace divscrape::pipeline {
 
 ReplayEngine::ReplayEngine(
     const std::vector<std::unique_ptr<detectors::Detector>>& pool,
     double time_scale)
-    : joiner_(pool), time_scale_(time_scale) {
+    : joiner_(pool),
+      decoder_([this](httplog::LogRecord&& record) {
+        process_record(std::move(record));
+      }),
+      time_scale_(time_scale) {
   for (const auto& detector : pool) detector->reset();
 }
 
-void ReplayEngine::ingest_line(std::string_view line) {
-  ++stats_.lines;
-  auto result = httplog::parse_clf(line);
-  if (!result.ok()) {
-    ++stats_.skipped;
-    return;
-  }
-  httplog::LogRecord record = std::move(*result.record);
+void ReplayEngine::process_record(httplog::LogRecord&& record) {
   // Parsed records carry no token; stamp here so every detector keys its
   // state by the token instead of re-hashing the UA string.
   record.ua_token = ua_tokens_.intern(record.user_agent);
   pacer_.wait_until(record.time, time_scale_);
   (void)joiner_.process(record);
-  ++stats_.parsed;
-}
-
-std::uint64_t ReplayEngine::feed(std::string_view chunk) {
-  const std::uint64_t parsed_before = stats_.parsed;
-  framer_.feed(chunk);
-  std::string_view line;
-  while (framer_.next(line)) ingest_line(line);
-  return stats_.parsed - parsed_before;
-}
-
-std::uint64_t ReplayEngine::finish_stream() {
-  std::string_view line;
-  if (!framer_.take_partial(line)) return 0;
-  ingest_line(line);
-  return 1;
 }
 
 ReplayStats ReplayEngine::replay(std::istream& in) {
-  const ReplayStats before = stats_;
+  const ReplayStats before = decoder_.stats();
   const auto wall0 = std::chrono::steady_clock::now();
   char buffer[64 * 1024];
   while (in.read(buffer, sizeof(buffer)), in.gcount() > 0) {
-    feed(std::string_view(buffer, static_cast<std::size_t>(in.gcount())));
+    (void)feed(std::string_view(buffer, static_cast<std::size_t>(in.gcount())));
   }
   // Batch EOF semantics: the closed stream's unterminated final line (if
   // any) is done growing — parse it as a complete line.
@@ -55,9 +34,10 @@ ReplayStats ReplayEngine::replay(std::istream& in) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
-  stats_.wall_seconds += wall;
-  return {stats_.lines - before.lines, stats_.parsed - before.parsed,
-          stats_.skipped - before.skipped, wall};
+  decoder_.add_wall_seconds(wall);
+  const ReplayStats& now = decoder_.stats();
+  return {now.lines - before.lines, now.parsed - before.parsed,
+          now.skipped - before.skipped, wall};
 }
 
 }  // namespace divscrape::pipeline

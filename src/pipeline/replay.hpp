@@ -1,20 +1,29 @@
 // ReplayEngine: drives a detector pool from a recorded CLF log — the
 // deployment mode the paper's tools actually ran in (tailing Apache access
-// logs). Two ingest surfaces share one framing/parsing/stamping path:
+// logs). Three ingest surfaces share one framing/parsing/stamping path:
 //
 //   * replay(istream): batch mode over a complete stream. At EOF a final
 //     line without a trailing newline is flushed as a complete line — the
 //     historical getline behavior, kept deliberately (a closed log file's
 //     last line is done growing, however it ended).
-//   * feed(chunk) + finish_stream(): incremental mode for live tailing.
-//     feed() accepts arbitrary byte chunks (torn anywhere, including inside
-//     a CRLF pair) and processes only fully '\n'-terminated lines; the
-//     trailing partial is held until its newline arrives. finish_stream()
-//     is the explicit end-of-stream declaration that flushes the partial —
-//     tail mode never calls it while the file may still grow.
+//   * feed(chunk) + finish_stream(): incremental byte mode for live
+//     tailing. feed() accepts arbitrary byte chunks (torn anywhere,
+//     including inside a CRLF pair) and processes only fully
+//     '\n'-terminated lines; the trailing partial is held until its
+//     newline arrives. finish_stream() is the explicit end-of-stream
+//     declaration that flushes the partial — tail mode never calls it
+//     while the file may still grow.
+//   * process_record(record): the record-level seam for producers that
+//     parsed elsewhere (the multi-file merge layer decodes each log with
+//     its own LineDecoder and emits one time-ordered record stream). The
+//     engine stamps, paces and dispatches exactly as it does for records
+//     it parsed itself, so "N decoders + merge + engine" equals "one
+//     engine fed the merged bytes".
 //
-// Both modes support as-fast-as-possible replay and time-scaled pacing for
-// live demos.
+// The byte-level framing/parsing lives in LineDecoder (decoder.hpp); the
+// engine owns the dispatch stage: UA-token stamping, pacing, and the
+// AlertJoiner. All modes support as-fast-as-possible replay and
+// time-scaled pacing for live demos.
 #pragma once
 
 #include <chrono>
@@ -26,18 +35,11 @@
 
 #include "core/joiner.hpp"
 #include "detectors/detector.hpp"
-#include "httplog/framing.hpp"
 #include "httplog/pacer.hpp"
+#include "pipeline/decoder.hpp"
 #include "util/interner.hpp"
 
 namespace divscrape::pipeline {
-
-struct ReplayStats {
-  std::uint64_t lines = 0;
-  std::uint64_t parsed = 0;
-  std::uint64_t skipped = 0;
-  double wall_seconds = 0.0;
-};
 
 class ReplayEngine {
  public:
@@ -55,6 +57,9 @@ class ReplayEngine {
       const std::vector<std::unique_ptr<detectors::Detector>>& pool,
       double time_scale = 0.0);
 
+  ReplayEngine(const ReplayEngine&) = delete;
+  ReplayEngine& operator=(const ReplayEngine&) = delete;
+
   /// Replays every parseable record of the stream through the pool,
   /// including an unterminated final line. Returns the stats delta for
   /// this stream (wall_seconds covers just this call).
@@ -63,43 +68,52 @@ class ReplayEngine {
   /// Incremental ingest: frames the chunk into lines and processes every
   /// line completed so far. Safe to call with chunks split at any byte
   /// boundary. Returns the number of records parsed from this chunk.
-  std::uint64_t feed(std::string_view chunk);
+  std::uint64_t feed(std::string_view chunk) { return decoder_.feed(chunk); }
 
   /// Declares end-of-stream: an unterminated trailing partial line (if
   /// any) is processed as a complete line. Returns 1 if a line was
   /// flushed, 0 otherwise.
-  std::uint64_t finish_stream();
+  std::uint64_t finish_stream() { return decoder_.finish_stream(); }
+
+  /// Record-level ingest: stamps the UA token, paces, and dispatches one
+  /// already-parsed record to the pool. feed() is equivalent to parse +
+  /// process_record per line; external parsers (MultiTailer) call this
+  /// directly. Records processed here do NOT appear in stats() — parse
+  /// accounting belongs to whichever decoder parsed them.
+  void process_record(httplog::LogRecord&& record);
 
   /// True while an unterminated partial line is buffered.
   [[nodiscard]] bool has_partial_line() const noexcept {
-    return framer_.has_partial();
+    return decoder_.has_partial_line();
   }
   /// Size of that partial in bytes. A resume checkpoint must subtract this
   /// from the fed-byte count: those bytes were accepted but not ingested.
   [[nodiscard]] std::size_t partial_bytes() const noexcept {
-    return framer_.buffered();
+    return decoder_.partial_bytes();
   }
   /// Drops the buffered partial line without ingesting it (the tailer uses
   /// this when the underlying file is truncated under the partial).
-  void drop_partial_line() { framer_.reset(); }
+  void drop_partial_line() { decoder_.drop_partial_line(); }
 
   /// Cumulative framing/parsing accounting across every replay()/feed()
   /// call on this engine. wall_seconds accumulates batch replay() time
   /// only; feed() callers own their clock.
-  [[nodiscard]] const ReplayStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ReplayStats& stats() const noexcept {
+    return decoder_.stats();
+  }
+
+  /// The engine's byte-stream decoder — what a LogTailer attaches to.
+  [[nodiscard]] LineDecoder& decoder() noexcept { return decoder_; }
 
   [[nodiscard]] const core::JointResults& results() const noexcept {
     return joiner_.results();
   }
 
  private:
-  void ingest_line(std::string_view line);
-
   core::AlertJoiner joiner_;
-  util::StringInterner ua_tokens_;  ///< stamps parsed records at ingest
-  httplog::LineFramer framer_;
+  util::StringInterner ua_tokens_;  ///< stamps records at dispatch
+  LineDecoder decoder_;
   httplog::Pacer pacer_;
-  ReplayStats stats_;
   double time_scale_;
 };
 

@@ -61,6 +61,11 @@ void ShardedPipeline::worker_loop(Shard& shard) {
     for (const auto& record : batch) {
       (void)shard.joiner->process(record);
     }
+    {
+      std::lock_guard lock(shard.mutex);
+      shard.processed += batch.size();
+    }
+    shard.idle.notify_all();
     batch.clear();
   }
 }
@@ -72,9 +77,21 @@ void ShardedPipeline::flush(Shard& shard) {
     shard.queue.insert(shard.queue.end(),
                        std::make_move_iterator(shard.pending.begin()),
                        std::make_move_iterator(shard.pending.end()));
+    shard.enqueued += shard.pending.size();
   }
   shard.ready.notify_one();
   shard.pending.clear();
+}
+
+void ShardedPipeline::drain() {
+  if (finished_)
+    throw std::logic_error("ShardedPipeline: drain() after finish()");
+  for (auto& shard : shards_) {
+    flush(*shard);
+    std::unique_lock lock(shard->mutex);
+    shard->idle.wait(lock,
+                     [&] { return shard->processed == shard->enqueued; });
+  }
 }
 
 ShardedPipeline::Shard& ShardedPipeline::route(

@@ -52,6 +52,13 @@ class ShardedPipeline {
   /// sources that re-fill the record anyway.
   void process(httplog::LogRecord&& record);
 
+  /// Barrier: flushes the dispatcher-side batches and blocks until every
+  /// worker has *processed* everything enqueued so far. Checkpointing
+  /// callers need this — a persisted offset must not cover records still
+  /// sitting in a shard queue, or a crash loses them from the results
+  /// while resume skips them. The pipeline stays usable afterwards.
+  void drain();
+
   /// Flushes queues, joins workers, merges shard results. Must be called
   /// exactly once; process() is illegal afterwards.
   [[nodiscard]] core::JointResults finish();
@@ -65,8 +72,11 @@ class ShardedPipeline {
   struct Shard {
     std::mutex mutex;
     std::condition_variable ready;
+    std::condition_variable idle;  ///< signals processed catching enqueued
     std::vector<httplog::LogRecord> queue;  ///< swapped out by the worker
     bool done = false;
+    std::uint64_t enqueued = 0;   ///< records ever handed to the queue
+    std::uint64_t processed = 0;  ///< records the worker has evaluated
     std::unique_ptr<core::AlertJoiner> joiner;
     std::vector<std::unique_ptr<detectors::Detector>> pool;
     std::vector<httplog::LogRecord> pending;  ///< dispatcher-side batch

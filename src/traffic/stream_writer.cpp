@@ -50,6 +50,9 @@ void StreamWriter::write(const httplog::LogRecord& record) {
   if (plan_.rotate_every != 0 && records_ % plan_.rotate_every == 0) {
     rotate(path_ + "." + std::to_string(++rotation_count_));
   }
+  if (plan_.truncate_every != 0 && records_ % plan_.truncate_every == 0) {
+    truncate_restart();
+  }
 }
 
 std::size_t StreamWriter::pump(Scenario& scenario, std::size_t max_records,

@@ -33,10 +33,14 @@ namespace divscrape::traffic {
 
 /// Scripted fault injection; 0 disables a fault kind.
 struct StreamFaultPlan {
-  std::uint64_t tear_every = 0;    ///< split every Nth record's line
-  std::uint64_t crlf_every = 0;    ///< end every Nth line with "\r\n"
-  std::uint64_t rotate_every = 0;  ///< rotate after every Nth record
-  std::uint64_t seed = 1;          ///< tear-point RNG seed
+  std::uint64_t tear_every = 0;      ///< split every Nth record's line
+  std::uint64_t crlf_every = 0;      ///< end every Nth line with "\r\n"
+  std::uint64_t rotate_every = 0;    ///< rotate after every Nth record
+  std::uint64_t truncate_every = 0;  ///< `> path` after every Nth record
+                                     ///< (same inode, size back to 0 —
+                                     ///< bytes a reader never drained are
+                                     ///< gone; it must detect, not skew)
+  std::uint64_t seed = 1;            ///< tear-point RNG seed
 };
 
 class StreamWriter {

@@ -28,4 +28,15 @@ namespace divscrape::util {
   return h;
 }
 
+/// 64-bit FNV-1a, for content signatures that must survive serialization
+/// (the tailer's file-prefix signature persisted in checkpoints).
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace divscrape::util

@@ -105,6 +105,26 @@ TEST(LineFramer, EmptyStreamYieldsNothing) {
   EXPECT_FALSE(framer.take_partial(line));
 }
 
+// The framer borrows the fed chunk, but feeding again WITHOUT draining is
+// part of its contract: undrained complete lines must come back out as
+// separate lines, not merged into one carry blob.
+TEST(LineFramer, FeedWithoutDrainingKeepsUndrainedLinesIntact) {
+  httplog::LineFramer framer;
+  std::string_view line;
+  framer.feed("alpha\nbravo\ncharl");
+  ASSERT_TRUE(framer.next(line));
+  EXPECT_EQ(line, "alpha");  // "bravo\ncharl" left undrained on purpose
+  framer.feed("ie\ndelta");
+  ASSERT_TRUE(framer.next(line));
+  EXPECT_EQ(line, "bravo");
+  ASSERT_TRUE(framer.next(line));
+  EXPECT_EQ(line, "charlie");
+  EXPECT_FALSE(framer.next(line));
+  EXPECT_EQ(framer.buffered(), 5u);
+  ASSERT_TRUE(framer.take_partial(line));
+  EXPECT_EQ(line, "delta");
+}
+
 // --- ReplayEngine::feed vs whole-stream replay --------------------------
 
 // CLF content from the smoke scenario with corruption and mixed endings:

@@ -50,14 +50,35 @@ TEST(Checkpoint, JsonRoundTripPreservesEveryField) {
   pipeline::Checkpoint cp;
   cp.inode = 1234567;
   cp.offset = 987654321;
+  cp.sig_len = 64;
+  cp.sig_hash = 0xdeadbeefcafef00dULL;
   cp.lines = 1000;
   cp.parsed = 990;
   cp.skipped = 10;
   cp.rotations = 3;
   cp.truncations = 1;
+  cp.lost_incarnations = 2;
   const auto parsed = pipeline::Checkpoint::from_json(cp.to_json());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(*parsed == cp);
+}
+
+// A checkpoint written by the v1 schema (before the prefix signature and
+// the lost-incarnation counter existed) must still load; the new fields
+// default to 0 = "unknown", which resume treats as "skip the check".
+TEST(Checkpoint, LoadsV1SchemaWithNewFieldsDefaulted) {
+  const std::string v1 =
+      "{\"schema\":\"divscrape.checkpoint.v1\",\"inode\":42,\"offset\":4096,"
+      "\"lines\":100,\"parsed\":98,\"skipped\":2,\"rotations\":1,"
+      "\"truncations\":0}";
+  const auto parsed = pipeline::Checkpoint::from_json(v1);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->inode, 42u);
+  EXPECT_EQ(parsed->offset, 4096u);
+  EXPECT_EQ(parsed->parsed, 98u);
+  EXPECT_EQ(parsed->sig_len, 0u);
+  EXPECT_EQ(parsed->sig_hash, 0u);
+  EXPECT_EQ(parsed->lost_incarnations, 0u);
 }
 
 TEST(Checkpoint, RejectsMalformedInput) {

@@ -101,6 +101,10 @@ TEST(TailFaults, FaultedLiveStreamMatchesOneShotBatchReplay) {
   ASSERT_TRUE(truncated_once);
   EXPECT_EQ(tailer.rotations(), 1u);
   EXPECT_EQ(tailer.truncations(), 1u);
+  // The single rotation's torn line stitched cleanly: the detected-loss
+  // counter must stay at zero (no false positives), and no read faulted.
+  EXPECT_EQ(tailer.lost_incarnations(), 0u);
+  EXPECT_EQ(tailer.read_errors(), 0u);
   // The writer completed every line, so nothing may be left partial.
   EXPECT_FALSE(engine.has_partial_line());
 

@@ -2,7 +2,7 @@
 //
 //   divscrape generate  [opts]   write a simulated CLF access log to stdout
 //   divscrape analyze   <log>    run the two detectors over a CLF file
-//   divscrape tail      <log>    follow a growing CLF file (deployment mode)
+//   divscrape tail      <log>... follow growing CLF file(s) (deployment mode)
 //   divscrape tables    [opts]   regenerate the paper's four tables
 //   divscrape export    [opts]   run the experiment, emit JSON results
 //   divscrape label     <log>    heuristically label a CLF file (paper §V)
@@ -15,11 +15,18 @@
 //   --csv <prefix>      (export) also write <prefix>_{totals,pairs,status}.csv
 //
 // Tail options:
-//   --checkpoint <file> resume from / persist an ingest checkpoint
-//   --follow            keep polling after catching up (stop with SIGINT)
-//   --poll-ms <n>       follow-mode poll interval (default 200)
-//   --results <file>    periodically flush JointResults JSON (atomic rename)
-//   --flush-every <n>   flush results/checkpoint every n parsed records
+//   --checkpoint <file>   resume from / persist an ingest checkpoint
+//                         (single-file mode)
+//   --checkpoint-dir <d>  per-log checkpoint files under one directory
+//                         (multi-file / sharded mode; works for one log too)
+//   --shards <n>          dispatch merged records to a ShardedPipeline with
+//                         n worker threads (results print at exit)
+//   --reorder-ms <n>      multi-file merge reorder window (default 2000)
+//   --follow              keep polling after catching up (stop with SIGINT)
+//   --poll-ms <n>         follow-mode poll interval (default 200)
+//   --results <file>      periodically flush JointResults JSON (atomic
+//                         rename; sharded mode writes it once at exit)
+//   --flush-every <n>     flush results/checkpoint every n parsed records
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +50,9 @@
 #include "httplog/io.hpp"
 #include "pipeline/alert_log.hpp"
 #include "pipeline/checkpoint.hpp"
+#include "pipeline/multi_tailer.hpp"
 #include "pipeline/replay.hpp"
+#include "pipeline/sharded.hpp"
 #include "pipeline/tailer.hpp"
 #include "traffic/scenario.hpp"
 #include "util/atomic_file.hpp"
@@ -55,13 +64,17 @@ namespace {
 
 struct CliOptions {
   std::string command;
-  std::string input;
+  std::string input;                ///< first positional (single-log cmds)
+  std::vector<std::string> inputs;  ///< all positionals (tail takes many)
   std::string alerts_path;
   std::string csv_prefix;
   std::string checkpoint_path;
+  std::string checkpoint_dir;
   std::string results_path;
   bool follow = false;
   int poll_ms = 200;
+  int reorder_ms = 2000;
+  std::size_t shards = 1;
   std::uint64_t flush_every = 100000;
   core::KeyValueConfig config;
 };
@@ -71,16 +84,19 @@ int usage() {
       stderr,
       "usage: divscrape <generate|analyze|tail|tables|export|label> "
       "[options]\n"
-      "  --config <file>     load key=value configuration\n"
-      "  --set k=v           inline config override (repeatable)\n"
-      "  --scale <s>         scenario scale in (0,1]\n"
-      "  --alerts <file>     (analyze) write JSONL alert log\n"
-      "  --csv <prefix>      (export) also write CSV files\n"
-      "  --checkpoint <file> (tail) resume from / persist ingest position\n"
-      "  --follow            (tail) keep polling; SIGINT checkpoints + exits\n"
-      "  --poll-ms <n>       (tail) follow poll interval, default 200\n"
-      "  --results <file>    (tail) periodic JointResults JSON flush\n"
-      "  --flush-every <n>   (tail) flush cadence in parsed records\n");
+      "  --config <file>       load key=value configuration\n"
+      "  --set k=v             inline config override (repeatable)\n"
+      "  --scale <s>           scenario scale in (0,1]\n"
+      "  --alerts <file>       (analyze) write JSONL alert log\n"
+      "  --csv <prefix>        (export) also write CSV files\n"
+      "  --checkpoint <file>   (tail, 1 log) resume/persist ingest position\n"
+      "  --checkpoint-dir <d>  (tail) per-log checkpoints under one dir\n"
+      "  --shards <n>          (tail) sharded detection, n worker threads\n"
+      "  --reorder-ms <n>      (tail) merge reorder window, default 2000\n"
+      "  --follow              (tail) keep polling; SIGINT checkpoints+exits\n"
+      "  --poll-ms <n>         (tail) follow poll interval, default 200\n"
+      "  --results <file>      (tail) periodic JointResults JSON flush\n"
+      "  --flush-every <n>     (tail) flush cadence in parsed records\n");
   return 2;
 }
 
@@ -128,6 +144,24 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* path = next();
       if (!path) return false;
       opts.checkpoint_path = path;
+    } else if (arg == "--checkpoint-dir") {
+      const char* path = next();
+      if (!path) return false;
+      opts.checkpoint_dir = path;
+    } else if (arg == "--shards") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      const long v = std::strtol(n, &end, 10);
+      if (end == n || *end != '\0' || v < 1 || v > 64) return false;
+      opts.shards = static_cast<std::size_t>(v);
+    } else if (arg == "--reorder-ms") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      const long v = std::strtol(n, &end, 10);
+      if (end == n || *end != '\0' || v < 0 || v > 3600000) return false;
+      opts.reorder_ms = static_cast<int>(v);
     } else if (arg == "--results") {
       const char* path = next();
       if (!path) return false;
@@ -147,8 +181,11 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       char* end = nullptr;
       opts.flush_every = std::strtoull(n, &end, 10);
       if (end == n || *end != '\0' || opts.flush_every == 0) return false;
-    } else if (!arg.empty() && arg[0] != '-' && opts.input.empty()) {
-      opts.input = arg;
+    } else if (!arg.empty() && arg[0] != '-') {
+      // Positional argument: tail accepts many logs, other commands use
+      // the first.
+      opts.inputs.push_back(arg);
+      if (opts.input.empty()) opts.input = arg;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return false;
@@ -257,10 +294,189 @@ bool flush_results(const core::JointResults& results,
   return util::write_file_atomic(path, core::to_json(results) + "\n");
 }
 
+void print_detector_summary(const core::JointResults& r) {
+  for (std::size_t d = 0; d < r.detector_count(); ++d) {
+    std::printf("  %-10s alerts %s\n", r.names()[d].c_str(),
+                core::with_thousands(r.alerts(d)).c_str());
+  }
+  if (r.detector_count() >= 2) {
+    const auto& pair = r.pair(0, 1);
+    std::printf(
+        "  both %s | neither %s | sentinel-only %s | arcane-only %s\n",
+        core::with_thousands(pair.both()).c_str(),
+        core::with_thousands(pair.neither()).c_str(),
+        core::with_thousands(pair.first_only()).c_str(),
+        core::with_thousands(pair.second_only()).c_str());
+  }
+}
+
+/// Per-log checkpoint file inside --checkpoint-dir: the log's path with
+/// every separator flattened for readability, plus a hash of the exact
+/// path so distinct logs can never collide ("/logs/a/b.log" vs
+/// "/logs/a_b.log" flatten identically). Stable across invocations.
+std::string checkpoint_file_for(const std::string& dir,
+                                const std::string& log_path) {
+  std::string name = log_path;
+  for (char& c : name) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  char hash[16];
+  std::snprintf(hash, sizeof hash, ".%08x",
+                util::fnv1a32(log_path));
+  return dir + "/" + name + hash + ".cp.json";
+}
+
+/// Multi-file and/or sharded tail: one LogTailer per input log merged into
+/// a single time-ordered stream (MultiTailer), consumed either by a
+/// sequential ReplayEngine or a ShardedPipeline.
+int cmd_tail_multi(const CliOptions& opts) {
+  std::vector<std::unique_ptr<detectors::Detector>> pool;
+  std::unique_ptr<pipeline::ReplayEngine> engine;
+  std::unique_ptr<pipeline::ShardedPipeline> sharded;
+  util::StringInterner ua_tokens;  // sharded dispatch stamps here
+  pipeline::MultiTailer::RecordSink sink;
+  if (opts.shards > 1) {
+    sharded = std::make_unique<pipeline::ShardedPipeline>(
+        [&opts] { return pair_from(opts.config); }, opts.shards);
+    sink = [&](httplog::LogRecord&& record) {
+      record.ua_token = ua_tokens.intern(record.user_agent);
+      sharded->process(std::move(record));
+    };
+  } else {
+    pool = pair_from(opts.config);
+    engine = std::make_unique<pipeline::ReplayEngine>(pool);
+    sink = [&](httplog::LogRecord&& record) {
+      engine->process_record(std::move(record));
+    };
+  }
+
+  pipeline::MultiTailConfig tail_config;
+  tail_config.reorder_window_us =
+      static_cast<std::int64_t>(opts.reorder_ms) * 1000;
+  pipeline::MultiTailer tailer(opts.inputs, std::move(sink), tail_config);
+
+  if (!opts.checkpoint_dir.empty()) {
+    for (std::size_t i = 0; i < tailer.files(); ++i) {
+      const auto cp_path =
+          checkpoint_file_for(opts.checkpoint_dir, tailer.path(i));
+      if (const auto cp = pipeline::Checkpoint::load(cp_path)) {
+        const bool honored = tailer.resume(i, *cp);
+        std::fprintf(stderr,
+                     "resumed %s from %s: offset %llu %s (%llu records "
+                     "already ingested; detector state restarts cold)\n",
+                     tailer.path(i).c_str(), cp_path.c_str(),
+                     static_cast<unsigned long long>(cp->offset),
+                     honored ? "honored" : "discarded (file replaced)",
+                     static_cast<unsigned long long>(cp->parsed));
+      }
+    }
+  }
+  if (opts.follow) std::signal(SIGINT, tail_sigint);
+  if (!opts.results_path.empty() && opts.shards > 1) {
+    std::fprintf(stderr,
+                 "note: sharded tail writes --results once at exit "
+                 "(per-shard results merge only on finish)\n");
+  }
+
+  const auto persist = [&]() {
+    // Checkpoint offsets cover decoded records, so every one of them must
+    // be truly processed first: flush the reorder heap into the sink, and
+    // in sharded mode also drain the shard queues (a crash between the
+    // checkpoint save and the workers would otherwise lose queued records
+    // that resume then skips).
+    (void)tailer.flush();
+    if (sharded) sharded->drain();
+    if (!opts.checkpoint_dir.empty()) {
+      for (std::size_t i = 0; i < tailer.files(); ++i) {
+        const auto cp_path =
+            checkpoint_file_for(opts.checkpoint_dir, tailer.path(i));
+        if (!tailer.checkpoint(i).save(cp_path)) {
+          std::fprintf(stderr, "cannot save checkpoint %s\n",
+                       cp_path.c_str());
+        }
+      }
+    }
+    if (engine && !opts.results_path.empty() &&
+        !flush_results(engine->results(), opts.results_path)) {
+      std::fprintf(stderr, "cannot write results %s\n",
+                   opts.results_path.c_str());
+    }
+  };
+
+  // Nothing to write => no periodic persist: the flush would force
+  // heap-buffered records past the watermark and the sharded drain would
+  // stall the dispatcher, all for no durable artifact.
+  const bool persist_output =
+      !opts.checkpoint_dir.empty() || !opts.results_path.empty();
+  std::uint64_t last_flush_parsed = 0;
+  int idle_polls = 0;
+  for (;;) {
+    const std::size_t consumed = tailer.poll();
+    if (persist_output &&
+        tailer.stats().parsed - last_flush_parsed >= opts.flush_every) {
+      last_flush_parsed = tailer.stats().parsed;
+      persist();
+    }
+    if (!opts.follow) break;  // one drain: batch-catch-up semantics
+    if (g_tail_interrupted) break;
+    if (consumed == 0) {
+      // Every log has gone quiet: the watermark and the reorder window
+      // are both keyed to *new* records' simulated time, so without this
+      // wall-clock escape a final burst would sit in the reorder heap
+      // until SIGINT. A laggard waking up afterwards emits late (counted)
+      // rather than being dropped.
+      if (++idle_polls >= 2 && tailer.buffered_records() > 0) {
+        (void)tailer.flush();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+    } else {
+      idle_polls = 0;
+    }
+  }
+  persist();
+
+  const auto stats = tailer.stats();
+  std::printf(
+      "tailed %zu logs (%zu shards): %s records parsed, %s lines skipped, "
+      "%llu rotations, %llu truncations, %llu lost incarnations, %llu read "
+      "errors, %llu late, %llu forced\n",
+      tailer.files(), opts.shards,
+      core::with_thousands(stats.parsed).c_str(),
+      core::with_thousands(stats.skipped).c_str(),
+      static_cast<unsigned long long>(tailer.rotations()),
+      static_cast<unsigned long long>(tailer.truncations()),
+      static_cast<unsigned long long>(tailer.lost_incarnations()),
+      static_cast<unsigned long long>(tailer.read_errors()),
+      static_cast<unsigned long long>(tailer.late_records()),
+      static_cast<unsigned long long>(tailer.forced_emits()));
+  if (engine) {
+    print_detector_summary(engine->results());
+  } else {
+    const auto results = sharded->finish();
+    if (!opts.results_path.empty() &&
+        !flush_results(results, opts.results_path)) {
+      std::fprintf(stderr, "cannot write results %s\n",
+                   opts.results_path.c_str());
+    }
+    print_detector_summary(results);
+  }
+  return 0;
+}
+
 int cmd_tail(const CliOptions& opts) {
   if (opts.input.empty()) {
     std::fprintf(stderr, "tail: missing <log> path\n");
     return 2;
+  }
+  if (opts.inputs.size() > 1 || opts.shards > 1 ||
+      !opts.checkpoint_dir.empty()) {
+    if (!opts.checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "tail: use --checkpoint-dir (not --checkpoint) with "
+                   "multiple logs or --shards\n");
+      return 2;
+    }
+    return cmd_tail_multi(opts);
   }
   const auto pool = pair_from(opts.config);
   pipeline::ReplayEngine engine(pool);
@@ -309,28 +525,17 @@ int cmd_tail(const CliOptions& opts) {
   persist();
 
   const auto cp = tailer.checkpoint();
-  const auto& r = engine.results();
   std::printf(
       "tailed %s: %s records parsed, %s lines skipped, %llu rotations, "
-      "%llu truncations%s\n",
+      "%llu truncations, %llu lost incarnations, %llu read errors%s\n",
       opts.input.c_str(), core::with_thousands(cp.parsed).c_str(),
       core::with_thousands(cp.skipped).c_str(),
       static_cast<unsigned long long>(cp.rotations),
       static_cast<unsigned long long>(cp.truncations),
+      static_cast<unsigned long long>(cp.lost_incarnations),
+      static_cast<unsigned long long>(tailer.read_errors()),
       engine.has_partial_line() ? " (1 partial line held un-ingested)" : "");
-  for (std::size_t d = 0; d < r.detector_count(); ++d) {
-    std::printf("  %-10s alerts %s\n", r.names()[d].c_str(),
-                core::with_thousands(r.alerts(d)).c_str());
-  }
-  if (r.detector_count() >= 2) {
-    const auto& pair = r.pair(0, 1);
-    std::printf(
-        "  both %s | neither %s | sentinel-only %s | arcane-only %s\n",
-        core::with_thousands(pair.both()).c_str(),
-        core::with_thousands(pair.neither()).c_str(),
-        core::with_thousands(pair.first_only()).c_str(),
-        core::with_thousands(pair.second_only()).c_str());
-  }
+  print_detector_summary(engine.results());
   return 0;
 }
 
@@ -433,6 +638,13 @@ int cmd_label(const CliOptions& opts) {
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage();
+  if (opts.command != "tail" && opts.inputs.size() > 1) {
+    // Only tail fans out over many logs; a stray extra positional on the
+    // single-input commands is almost certainly a mistyped flag.
+    std::fprintf(stderr, "%s: takes at most one positional argument\n",
+                 opts.command.c_str());
+    return usage();
+  }
   if (opts.command == "generate") return cmd_generate(opts);
   if (opts.command == "analyze") return cmd_analyze(opts);
   if (opts.command == "tail") return cmd_tail(opts);
