@@ -106,9 +106,13 @@ struct ThroughputRun {
 /// {schema, bench, scenario, scale, peak_rss_kb, runs:[{mode, shards,
 ///  records, wall_s, records_per_sec, ns_per_record}]}.
 /// Every perf PR regenerates this to prove (or disprove) its speedup.
+/// `scenario` names the workload measured (bench_workload runs catalog
+/// entries; everything else runs the paper scenario).
 inline bool write_throughput_json(const std::string& path,
                                   const std::string& bench_name, double scale,
-                                  const std::vector<ThroughputRun>& runs) {
+                                  const std::vector<ThroughputRun>& runs,
+                                  const std::string& scenario =
+                                      "amadeus_like") {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -118,7 +122,7 @@ inline bool write_throughput_json(const std::string& path,
   json.begin_object();
   json.key("schema").value("divscrape.bench_throughput.v1");
   json.key("bench").value(bench_name);
-  json.key("scenario").value("amadeus_like");
+  json.key("scenario").value(scenario);
   json.key("scale").value(scale);
   json.key("peak_rss_kb").value(peak_rss_kb());
   json.key("runs").begin_array();

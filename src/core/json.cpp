@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace divscrape::core {
@@ -109,6 +110,18 @@ JsonWriter& JsonWriter::value(double number) {
     std::snprintf(buf, sizeof buf, "%.12g", number);
     *os_ << buf;
   }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_exact(double number) {
+  if (std::isnan(number) || std::isinf(number)) return value(number);
+  char buf[40];
+  for (int precision = 12; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, number);
+    if (std::strtod(buf, nullptr) == number) break;
+  }
+  before_value();
+  *os_ << buf;
   return *this;
 }
 

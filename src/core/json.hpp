@@ -43,6 +43,12 @@ class JsonWriter {
   JsonWriter& value(std::string_view text);
   JsonWriter& value(const char* text) { return value(std::string_view(text)); }
   JsonWriter& value(double number);
+  /// Like value(double) but with just enough digits for the literal to
+  /// parse back to the identical double (shortest of %.12g..%.17g that
+  /// round-trips) — for codecs whose documents must reload bit-exactly
+  /// (e.g. scenario specs), where the default 12 significant digits can
+  /// silently drift values like 1.0/24.0.
+  JsonWriter& value_exact(double number);
   JsonWriter& value(std::uint64_t number);
   JsonWriter& value(std::int64_t number);
   JsonWriter& value(int number) { return value(std::int64_t{number}); }

@@ -7,8 +7,9 @@
 namespace divscrape::pipeline {
 
 ShardedPipeline::ShardedPipeline(PoolFactory factory, std::size_t shards,
-                                 std::size_t batch_size)
-    : batch_size_(batch_size) {
+                                 std::size_t batch_size,
+                                 std::size_t max_backlog)
+    : batch_size_(batch_size), max_backlog_(max_backlog) {
   if (shards == 0)
     throw std::invalid_argument("ShardedPipeline: shards must be >= 1");
   if (!factory)
@@ -73,13 +74,22 @@ void ShardedPipeline::worker_loop(Shard& shard) {
 void ShardedPipeline::flush(Shard& shard) {
   if (shard.pending.empty()) return;
   {
-    std::lock_guard lock(shard.mutex);
+    std::unique_lock lock(shard.mutex);
     shard.queue.insert(shard.queue.end(),
                        std::make_move_iterator(shard.pending.begin()),
                        std::make_move_iterator(shard.pending.end()));
     shard.enqueued += shard.pending.size();
+    shard.ready.notify_one();  // wake the worker before (possibly) waiting
+    if (max_backlog_ != 0) {
+      // Backpressure: cap this shard's run-ahead so a fast dispatcher
+      // cannot buffer the whole stream in memory. The worker drains the
+      // backlog monotonically and signals idle per batch, so the wait
+      // always terminates.
+      shard.idle.wait(lock, [&] {
+        return shard.enqueued - shard.processed <= max_backlog_;
+      });
+    }
   }
-  shard.ready.notify_one();
   shard.pending.clear();
 }
 

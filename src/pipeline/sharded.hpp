@@ -37,8 +37,16 @@ using PoolFactory =
 class ShardedPipeline {
  public:
   /// `shards` >= 1. The factory is invoked `shards` times up front.
+  ///
+  /// `max_backlog` bounds each shard's unprocessed run-ahead (enqueued −
+  /// processed, in records): a flush that would exceed it blocks the
+  /// dispatcher until the worker catches up. Without the bound a dispatcher
+  /// that outpaces its workers — easy once generation is faster than
+  /// detection — buffers the whole stream in shard queues (hundreds of MB
+  /// at paper scale). 0 disables backpressure.
   ShardedPipeline(PoolFactory factory, std::size_t shards,
-                  std::size_t batch_size = 1024);
+                  std::size_t batch_size = 1024,
+                  std::size_t max_backlog = 16 * 1024);
   ~ShardedPipeline();
 
   ShardedPipeline(const ShardedPipeline&) = delete;
@@ -89,6 +97,7 @@ class ShardedPipeline {
   void after_enqueue(Shard& shard);
 
   std::size_t batch_size_;
+  std::size_t max_backlog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::uint64_t dispatched_ = 0;

@@ -16,6 +16,7 @@ void TrafficGenerator::add_actor(std::unique_ptr<Actor> actor,
                                  httplog::Timestamp start) {
   if (start >= end_time_) return;
   actors_.push_back(std::move(actor));
+  ua_cache_.emplace_back();
   ++live_actors_;
   push_event({start, actors_.size() - 1, SIZE_MAX});
 }
@@ -48,6 +49,11 @@ bool TrafficGenerator::next(httplog::LogRecord& out) {
 
     auto& actor = actors_[e.actor_idx];
     if (!actor) continue;  // already retired (defensive)
+    // The epoch must be read *before* step(): a bot that rotates identity
+    // at session end does so inside step(), after filling `out` with the
+    // pre-rotation UA — the post-step epoch would pin the old token to the
+    // new UA.
+    const std::uint32_t epoch = actor->ua_epoch();
     const StepResult result = actor->step(e.time, out);
     const bool emit = result.emitted && e.time < end_time_;
     if (result.next && *result.next < end_time_) {
@@ -57,7 +63,16 @@ bool TrafficGenerator::next(httplog::LogRecord& out) {
       --live_actors_;
     }
     if (emit) {
-      out.ua_token = ua_tokens_.intern(out.user_agent);
+      // Identical token assignment to per-record interning: an actor's
+      // first record (and first record after a UA rotation) still probes —
+      // exactly the calls that could mint — while the cached fast path
+      // returns what intern() would have returned anyway.
+      auto& cache = ua_cache_[e.actor_idx];
+      if (cache.token == 0 || cache.epoch != epoch) {
+        cache.token = ua_tokens_.intern(out.user_agent);
+        cache.epoch = epoch;
+      }
+      out.ua_token = cache.token;
       ++emitted_;
       return true;
     }

@@ -50,7 +50,9 @@ class TrafficGenerator {
   /// Produces the next record in global time order; false when exhausted.
   /// Every emitted record is stamped with an interned `ua_token` so the
   /// whole detection stack downstream keys its per-client state without
-  /// hashing the UA string again.
+  /// hashing the UA string again. The token is cached per actor and only
+  /// re-interned when the actor's ua_epoch() moves (UA rotation), so the
+  /// steady-state cost is an integer compare instead of a string probe.
   [[nodiscard]] bool next(httplog::LogRecord& out);
 
   /// Drains the whole stream into a vector (tests / small scenarios only).
@@ -76,8 +78,16 @@ class TrafficGenerator {
 
   void push_event(Event e);
 
+  /// Cached interned token of an actor's current UA; epoch mirrors the
+  /// actor's ua_epoch() at caching time. token 0 = not cached yet.
+  struct UaTokenCache {
+    std::uint32_t token = 0;
+    std::uint32_t epoch = 0;
+  };
+
   httplog::Timestamp end_time_;
   std::vector<std::unique_ptr<Actor>> actors_;   ///< null after retirement
+  std::vector<UaTokenCache> ua_cache_;           ///< parallel to actors_
   std::vector<ArrivalProcess> arrivals_;
   std::vector<Event> heap_;
   util::StringInterner ua_tokens_;  ///< mints LogRecord::ua_token stamps

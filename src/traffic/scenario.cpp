@@ -34,19 +34,6 @@ Ipv4 slow_fleet_ip(int campaign, int bot) noexcept {
               (200u + static_cast<std::uint32_t>(bot / 2)));
 }
 
-/// A "clean" public address far away from the botnet and crawler ranges.
-Ipv4 clean_ip(Rng& rng) {
-  for (;;) {
-    const auto a = static_cast<std::uint32_t>(rng.uniform_int(1, 223));
-    // Skip loopback, RFC1918-ish, the botnet /8 neighbourhood we use, and
-    // the crawler range.
-    if (a == 10 || a == 45 || a == 66 || a == 127 || a == 172 || a == 192)
-      continue;
-    const auto rest = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
-    return Ipv4((a << 24) | rest);
-  }
-}
-
 /// A human victim address inside a random campaign /24 (collateral pool).
 Ipv4 botnet_neighbour_ip(Rng& rng, int campaigns) {
   const int c = static_cast<int>(rng.uniform_int(0, campaigns - 1));
@@ -142,7 +129,7 @@ void Scenario::populate() {
       Rng session_rng = human_rng->fork();
       const Ipv4 ip = session_rng.bernoulli(fp_p)
                           ? botnet_neighbour_ip(session_rng, campaigns)
-                          : clean_ip(session_rng);
+                          : sample_clean_ip(session_rng);
       return std::make_unique<HumanActor>(
           *site, human_config, ip,
           std::string(sample_browser_ua(session_rng)), session_rng,
@@ -183,8 +170,7 @@ void Scenario::populate() {
     const int bots = scaled(config_.bots_per_campaign, scale);
     for (int b = 0; b < bots; ++b) {
       Rng rng = root.fork();
-      BotProfile profile;
-      profile.cls = ActorClass::kScraperAggressive;
+      BotProfile profile = aggressive_fleet_profile();
       profile.ip = fleet_ip(c, b);
       // Per-bot UA identity: half spoof current browsers, the rest leak
       // automation markers (mirrors the mixed tooling of real botnets).
@@ -198,13 +184,6 @@ void Scenario::populate() {
       } else {
         profile.user_agent = std::string(sample_headless_ua(rng));
       }
-      profile.p_search = 0.08;
-      profile.p_api = 0.0018;
-      profile.p_book = 0.026;
-      profile.p_malformed = 7e-6;
-      profile.gap_mean_s = 0.30;
-      profile.session_len_mean = 380;
-      profile.pause_mean_s = 260'000;  // ~3 days between sweeps
       auto actor = std::make_unique<ScraperBot>(site_, std::move(profile),
                                                 end, rng, next_actor_id_++);
       // Stagger first sessions across the first pause interval.
@@ -217,21 +196,11 @@ void Scenario::populate() {
     const int slow = scaled(config_.slow_bots_per_campaign, scale);
     for (int b = 0; b < slow; ++b) {
       Rng rng = root.fork();
-      BotProfile profile;
-      profile.cls = ActorClass::kScraperAggressive;
+      BotProfile profile = slow_fleet_member_profile();
       profile.ip = slow_fleet_ip(c, b);
       profile.user_agent = std::string(
           rng.bernoulli(0.3) ? sample_stale_browser_ua(rng)
                              : sample_browser_ua(rng));
-      profile.p_search = 0.08;
-      profile.p_book = 0.012;
-      profile.p_malformed = 0.0055;
-      profile.p_dead_link = 0.0028;
-      profile.p_conditional = 0.0022;
-      profile.gap_mean_s = 30.0;
-      profile.session_len_mean = 500;
-      profile.pause_mean_s = 43'200;
-      profile.lifetime_requests = 480;
       auto actor = std::make_unique<ScraperBot>(site_, std::move(profile),
                                                 end, rng, next_actor_id_++);
       generator_.add_actor(std::move(actor), start + stagger(rng, 43'200.0));
@@ -241,17 +210,9 @@ void Scenario::populate() {
   // ---- stealth (low-and-slow, residential proxies) ----
   for (int b = 0; b < scaled(config_.stealth_bots, scale); ++b) {
     Rng rng = root.fork();
-    BotProfile profile;
-    profile.cls = ActorClass::kScraperStealth;
-    profile.ip = clean_ip(rng);
+    BotProfile profile = stealth_scraper_profile();
+    profile.ip = sample_clean_ip(rng);
     profile.user_agent = std::string(sample_browser_ua(rng));
-    profile.p_search = 0.05;
-    profile.p_book = 0.025;
-    profile.gap_mean_s = 5.0;
-    profile.session_len_mean = 110;
-    profile.pause_mean_s = 14'400;
-    profile.lifetime_requests = 350;
-    profile.referer_p = 0.3;  // stealth bots fake referers too
     auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
                                               rng, next_actor_id_++);
     generator_.add_actor(std::move(actor), start + stagger(rng, 14'400.0));
@@ -260,17 +221,9 @@ void Scenario::populate() {
   // ---- availability-API pollers, clean-IP flavour (in-house tool's catch)
   for (int b = 0; b < scaled(config_.api_clean_bots, scale); ++b) {
     Rng rng = root.fork();
-    BotProfile profile;
-    profile.cls = ActorClass::kScraperApi;
-    profile.ip = clean_ip(rng);
+    BotProfile profile = api_clean_poller_profile();
+    profile.ip = sample_clean_ip(rng);
     profile.user_agent = std::string(sample_browser_ua(rng));
-    profile.p_search = 0.02;
-    profile.p_api = 0.93;
-    profile.p_book = 0.02;
-    profile.gap_mean_s = 2.0;
-    profile.session_len_mean = 300;
-    profile.pause_mean_s = 7'200;
-    profile.lifetime_requests = 1'150;
     auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
                                               rng, next_actor_id_++);
     generator_.add_actor(std::move(actor), start + stagger(rng, 7'200.0));
@@ -279,18 +232,11 @@ void Scenario::populate() {
   // ---- availability-API pollers, fleet flavour (commercial tool's catch)
   for (int b = 0; b < scaled(config_.api_fleet_bots, scale); ++b) {
     Rng rng = root.fork();
-    BotProfile profile;
-    profile.cls = ActorClass::kScraperApi;
+    BotProfile profile = api_fleet_poller_profile();
     const int c = b % campaigns;
     profile.ip = Ipv4(campaign_base(c).value() |
                       (250u + static_cast<std::uint32_t>(b / campaigns)));
     profile.user_agent = std::string(sample_script_ua(rng));
-    profile.p_api = 0.95;
-    profile.p_search = 0.01;
-    profile.gap_mean_s = 30.0;  // below the behavioural window floor
-    profile.session_len_mean = 250;
-    profile.pause_mean_s = 28'800;
-    profile.lifetime_requests = 740;
     auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
                                               rng, next_actor_id_++);
     generator_.add_actor(std::move(actor), start + stagger(rng, 28'800.0));
@@ -299,17 +245,9 @@ void Scenario::populate() {
   // ---- malformed-request bots (buggy scraper stacks) ----
   for (int b = 0; b < scaled(config_.malformed_bots, scale); ++b) {
     Rng rng = root.fork();
-    BotProfile profile;
-    profile.cls = ActorClass::kScraperMalformed;
-    profile.ip = clean_ip(rng);
+    BotProfile profile = malformed_scraper_profile();
+    profile.ip = sample_clean_ip(rng);
     profile.user_agent = std::string(sample_browser_ua(rng));
-    profile.p_malformed = 0.30;
-    profile.p_dead_link = 0.01;
-    profile.p_search = 0.02;
-    profile.gap_mean_s = 5.0;
-    profile.session_len_mean = 60;
-    profile.pause_mean_s = 14'400;
-    profile.lifetime_requests = 280;
     auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
                                               rng, next_actor_id_++);
     generator_.add_actor(std::move(actor), start + stagger(rng, 14'400.0));
@@ -318,15 +256,9 @@ void Scenario::populate() {
   // ---- conditional-GET caching scrapers ----
   for (int b = 0; b < scaled(config_.caching_bots, scale); ++b) {
     Rng rng = root.fork();
-    BotProfile profile;
-    profile.cls = ActorClass::kScraperCaching;
-    profile.ip = clean_ip(rng);
+    BotProfile profile = caching_scraper_profile();
+    profile.ip = sample_clean_ip(rng);
     profile.user_agent = std::string(sample_browser_ua(rng));
-    profile.p_conditional = 0.80;
-    profile.gap_mean_s = 4.0;
-    profile.session_len_mean = 80;
-    profile.pause_mean_s = 21'600;
-    profile.lifetime_requests = 58;
     auto actor = std::make_unique<ScraperBot>(site_, std::move(profile), end,
                                               rng, next_actor_id_++);
     generator_.add_actor(std::move(actor), start + stagger(rng, 21'600.0));

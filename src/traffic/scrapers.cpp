@@ -6,11 +6,7 @@
 
 namespace divscrape::traffic {
 
-namespace {
-
-/// A fresh clean address for rotating bots (mirrors scenario.cpp's clean
-/// pool: stays out of the campaign, crawler and private ranges).
-httplog::Ipv4 rotation_ip(stats::Rng& rng) {
+httplog::Ipv4 sample_clean_ip(stats::Rng& rng) {
   for (;;) {
     const auto a = static_cast<std::uint32_t>(rng.uniform_int(1, 223));
     if (a == 10 || a == 45 || a == 66 || a == 127 || a == 172 || a == 192)
@@ -21,7 +17,95 @@ httplog::Ipv4 rotation_ip(stats::Rng& rng) {
   }
 }
 
-}  // namespace
+BotProfile aggressive_fleet_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperAggressive;
+  profile.p_search = 0.08;
+  profile.p_api = 0.0018;
+  profile.p_book = 0.026;
+  profile.p_malformed = 7e-6;
+  profile.gap_mean_s = 0.30;
+  profile.session_len_mean = 380;
+  profile.pause_mean_s = 260'000;  // ~3 days between sweeps
+  return profile;
+}
+
+BotProfile slow_fleet_member_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperAggressive;
+  profile.p_search = 0.08;
+  profile.p_book = 0.012;
+  profile.p_malformed = 0.0055;
+  profile.p_dead_link = 0.0028;
+  profile.p_conditional = 0.0022;
+  profile.gap_mean_s = 30.0;
+  profile.session_len_mean = 500;
+  profile.pause_mean_s = 43'200;
+  profile.lifetime_requests = 480;
+  return profile;
+}
+
+BotProfile stealth_scraper_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperStealth;
+  profile.p_search = 0.05;
+  profile.p_book = 0.025;
+  profile.gap_mean_s = 5.0;
+  profile.session_len_mean = 110;
+  profile.pause_mean_s = 14'400;
+  profile.lifetime_requests = 350;
+  profile.referer_p = 0.3;  // stealth bots fake referers too
+  return profile;
+}
+
+BotProfile api_clean_poller_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperApi;
+  profile.p_search = 0.02;
+  profile.p_api = 0.93;
+  profile.p_book = 0.02;
+  profile.gap_mean_s = 2.0;
+  profile.session_len_mean = 300;
+  profile.pause_mean_s = 7'200;
+  profile.lifetime_requests = 1'150;
+  return profile;
+}
+
+BotProfile api_fleet_poller_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperApi;
+  profile.p_api = 0.95;
+  profile.p_search = 0.01;
+  profile.gap_mean_s = 30.0;  // below the behavioural window floor
+  profile.session_len_mean = 250;
+  profile.pause_mean_s = 28'800;
+  profile.lifetime_requests = 740;
+  return profile;
+}
+
+BotProfile malformed_scraper_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperMalformed;
+  profile.p_malformed = 0.30;
+  profile.p_dead_link = 0.01;
+  profile.p_search = 0.02;
+  profile.gap_mean_s = 5.0;
+  profile.session_len_mean = 60;
+  profile.pause_mean_s = 14'400;
+  profile.lifetime_requests = 280;
+  return profile;
+}
+
+BotProfile caching_scraper_profile() {
+  BotProfile profile;
+  profile.cls = ActorClass::kScraperCaching;
+  profile.p_conditional = 0.80;
+  profile.gap_mean_s = 4.0;
+  profile.session_len_mean = 80;
+  profile.pause_mean_s = 21'600;
+  profile.lifetime_requests = 58;
+  return profile;
+}
 
 ScraperBot::ScraperBot(const SiteModel& site, BotProfile profile,
                        httplog::Timestamp end_time, stats::Rng rng,
@@ -42,9 +126,11 @@ void ScraperBot::begin_session() {
   const double mean = std::max(1.0, profile_.session_len_mean);
   session_remaining_ =
       static_cast<std::uint64_t>(rng_.geometric(1.0 / mean));
-  if (profile_.rotate_ip_per_session) current_ip_ = rotation_ip(rng_);
-  if (profile_.rotate_ua_per_session)
+  if (profile_.rotate_ip_per_session) current_ip_ = sample_clean_ip(rng_);
+  if (profile_.rotate_ua_per_session) {
     current_ua_ = std::string(sample_browser_ua(rng_));
+    ++ua_epoch_;  // invalidates the generator's cached ua_token
+  }
 }
 
 double ScraperBot::next_gap_s() {

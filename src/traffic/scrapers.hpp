@@ -67,6 +67,37 @@ struct BotProfile {
   std::uint64_t lifetime_requests = 0;  ///< 0 = unlimited
 };
 
+/// The "clean" public-address pool: uniformly random addresses avoiding
+/// loopback, RFC1918-ish space, the campaign /8 neighbourhood (45.*) and
+/// the declared-crawler range (66.*). Shared by human sessions, stealth
+/// bots and per-session IP rotation, so every population builder draws
+/// from one definition of "unsuspicious address".
+[[nodiscard]] httplog::Ipv4 sample_clean_ip(stats::Rng& rng);
+
+// --- calibrated archetype parameter tables -------------------------------
+//
+// Each returns a BotProfile with class, endpoint mix and timing set to the
+// values the paper-shaped reproduction was calibrated with; callers assign
+// identity (ip, user_agent) and may override timing knobs. Both population
+// builders — the calibrated paper scenario (traffic/scenario.cpp) and the
+// declarative workload engine (workload/engine.cpp) — start from these
+// tables, so a calibration change lands everywhere at once.
+
+/// Fast fare-scraping fleet member (~3-day sweep cadence).
+[[nodiscard]] BotProfile aggressive_fleet_profile();
+/// Sub-behavioural-threshold fleet member parked inside the flagged /24s.
+[[nodiscard]] BotProfile slow_fleet_member_profile();
+/// Low-and-slow stealth scraper behind clean residential addresses.
+[[nodiscard]] BotProfile stealth_scraper_profile();
+/// Availability-API poller, clean-IP flavour (the in-house tool's catch).
+[[nodiscard]] BotProfile api_clean_poller_profile();
+/// Availability-API poller, campaign-IP flavour (the commercial tool's).
+[[nodiscard]] BotProfile api_fleet_poller_profile();
+/// Buggy scraper stack emitting malformed requests (400-heavy).
+[[nodiscard]] BotProfile malformed_scraper_profile();
+/// Conditional-GET caching scraper (304-heavy).
+[[nodiscard]] BotProfile caching_scraper_profile();
+
 /// One scraper bot driven by its profile.
 class ScraperBot final : public Actor {
  public:
@@ -80,6 +111,10 @@ class ScraperBot final : public Actor {
 
   [[nodiscard]] StepResult step(httplog::Timestamp now,
                                 httplog::LogRecord& out) override;
+
+  [[nodiscard]] std::uint32_t ua_epoch() const noexcept override {
+    return ua_epoch_;
+  }
 
   [[nodiscard]] const BotProfile& profile() const noexcept { return profile_; }
 
@@ -99,6 +134,7 @@ class ScraperBot final : public Actor {
   // Current identity (rebound per session when rotation is enabled).
   httplog::Ipv4 current_ip_;
   std::string current_ua_;
+  std::uint32_t ua_epoch_ = 0;  ///< bumped on every UA rotation
   bool asset_pending_ = false;  ///< mimicry: next emission is an asset
 };
 

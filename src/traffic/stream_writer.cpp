@@ -1,35 +1,104 @@
 #include "traffic/stream_writer.hpp"
 
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 
 #include "httplog/clf.hpp"
 
 namespace divscrape::traffic {
 
-StreamWriter::StreamWriter(std::string path, FaultPlan plan)
-    : path_(std::move(path)), plan_(plan), rng_(plan.seed) {
+StreamWriter::StreamWriter(std::string path, FaultPlan plan,
+                           std::size_t batch_lines)
+    : path_(std::move(path)),
+      plan_(plan),
+      rng_(plan.seed),
+      batch_lines_(batch_lines) {
   open_fresh();
 }
 
-StreamWriter::~StreamWriter() = default;
+StreamWriter::~StreamWriter() {
+  flush();
+  if (fd_ >= 0) ::close(fd_);
+}
 
 void StreamWriter::open_fresh() {
-  out_.close();
-  out_.clear();
-  out_.open(path_, std::ios::trunc | std::ios::binary);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+void StreamWriter::raw_write(const char* data, std::size_t size) {
+  while (size > 0 && fd_ >= 0) {
+    const ssize_t n = ::write(fd_, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // disk-level failure: drop, like a real logger under ENOSPC
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+    bytes_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+void StreamWriter::flush() {
+  if (pending_.empty()) return;
+  // One writev per IOV_MAX-sized slice: each queued line is its own iovec,
+  // so the kernel copies straight from the encoded strings with no
+  // concatenation pass.
+  static constexpr std::size_t kMaxIov = 1024;
+  std::vector<iovec> iov;
+  iov.reserve(pending_.size() < kMaxIov ? pending_.size() : kMaxIov);
+  std::size_t start = 0;
+  while (start < pending_.size() && fd_ >= 0) {
+    iov.clear();
+    std::size_t slice_bytes = 0;
+    const std::size_t end =
+        std::min(pending_.size(), start + kMaxIov);
+    for (std::size_t i = start; i < end; ++i) {
+      iov.push_back({const_cast<char*>(pending_[i].data()),
+                     pending_[i].size()});
+      slice_bytes += pending_[i].size();
+    }
+    const ssize_t n = ::writev(fd_, iov.data(), static_cast<int>(iov.size()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // disk-level failure: drop the rest
+    }
+    bytes_ += static_cast<std::uint64_t>(n);
+    if (static_cast<std::size_t>(n) == slice_bytes) {
+      start = end;
+      continue;
+    }
+    // Partial writev: finish the straddled line with the write() loop,
+    // then resume vectored writes from the next whole line.
+    std::size_t written = static_cast<std::size_t>(n);
+    std::size_t i = start;
+    while (written >= pending_[i].size()) {
+      written -= pending_[i].size();
+      ++i;
+    }
+    const std::string& straddled = pending_[i];
+    const char* rest = straddled.data() + written;
+    const std::size_t rest_size = straddled.size() - written;
+    raw_write(rest, rest_size);
+    start = i + 1;
+  }
+  pending_.clear();
 }
 
 void StreamWriter::write_bytes(std::string_view bytes) {
-  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out_.flush();
-  bytes_ += bytes.size();
+  flush();  // explicit byte-level controls never reorder past queued lines
+  raw_write(bytes.data(), bytes.size());
 }
 
 void StreamWriter::write_line(std::string_view line, std::string_view ending) {
-  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
-  out_.write(ending.data(), static_cast<std::streamsize>(ending.size()));
-  out_.flush();
-  bytes_ += line.size() + ending.size();
+  flush();
+  raw_write(line.data(), line.size());
+  raw_write(ending.data(), ending.size());
 }
 
 void StreamWriter::write(const httplog::LogRecord& record) {
@@ -44,8 +113,11 @@ void StreamWriter::write(const httplog::LogRecord& record) {
         rng_.uniform_int(1, static_cast<std::int64_t>(wire.size()) - 1));
     write_bytes(std::string_view(wire).substr(0, cut));
     write_bytes(std::string_view(wire).substr(cut));
+  } else if (batch_lines_ > 0) {
+    pending_.push_back(std::move(wire));
+    if (pending_.size() >= batch_lines_) flush();
   } else {
-    write_bytes(wire);
+    raw_write(wire.data(), wire.size());
   }
   if (plan_.rotate_every != 0 && records_ % plan_.rotate_every == 0) {
     rotate(path_ + "." + std::to_string(++rotation_count_));
@@ -64,11 +136,18 @@ std::size_t StreamWriter::pump(Scenario& scenario, std::size_t max_records,
     write(record);
     ++written;
   }
+  // A pump burst ends at a poll boundary for the concurrent reader, so
+  // everything written must actually be visible.
+  flush();
   return written;
 }
 
 void StreamWriter::rotate(const std::string& rotated_path) {
-  out_.close();
+  flush();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
   std::rename(path_.c_str(), rotated_path.c_str());
   open_fresh();
 }
@@ -77,6 +156,7 @@ void StreamWriter::truncate_restart() {
   // Reopen with trunc on the same path: contents drop to zero length but
   // the inode is preserved, which is exactly the case the tailer must
   // distinguish from rotation.
+  flush();
   open_fresh();
 }
 

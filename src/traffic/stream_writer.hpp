@@ -15,14 +15,24 @@
 //   * rotation — rename the live file away and recreate it (logrotate);
 //   * truncate-and-restart — `> access.log` in place, same inode.
 //
-// All writes are flushed to the OS immediately: the whole point is that a
-// concurrent reader observes every intermediate state.
+// ## Write modes
+//
+// In the default unbatched mode (`batch_lines` 0) every write reaches the
+// OS immediately: the whole point is that a concurrent reader observes
+// every intermediate state. With `batch_lines` > 0 encoded lines are
+// queued and flushed `batch_lines` at a time with one writev(2) — one
+// syscall instead of N, which is what makes the live-loop benches
+// writer-bound no longer. Batching never reorders bytes: every fault
+// injection and every explicit byte-level control flushes the queue first,
+// so the on-disk byte sequence is identical in both modes (the *timing* of
+// visibility is the only difference). flush() forces the queue out; the
+// destructor flushes too.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "httplog/pacer.hpp"
 #include "httplog/record.hpp"
@@ -47,16 +57,23 @@ class StreamWriter {
  public:
   using FaultPlan = StreamFaultPlan;
 
-  /// Creates/truncates `path` and appends from there.
-  explicit StreamWriter(std::string path, FaultPlan plan = FaultPlan());
+  /// Creates/truncates `path` and appends from there. `batch_lines` > 0
+  /// enables vectored write batching (see the class comment).
+  explicit StreamWriter(std::string path, FaultPlan plan = FaultPlan(),
+                        std::size_t batch_lines = 0);
   ~StreamWriter();
 
   StreamWriter(const StreamWriter&) = delete;
   StreamWriter& operator=(const StreamWriter&) = delete;
 
   /// Appends one record as a CLF line, applying any scripted faults that
-  /// are due, and flushes.
+  /// are due. Unbatched mode flushes to the OS immediately; batched mode
+  /// queues the line (faults force the queue out first).
   void write(const httplog::LogRecord& record);
+
+  /// Writes out every queued line with writev(2). No-op when the queue is
+  /// empty (always, in unbatched mode).
+  void flush();
 
   /// Pumps up to `max_records` from the scenario through write(). With
   /// `time_scale` > 0 each record is delayed so one simulated second takes
@@ -75,16 +92,18 @@ class StreamWriter {
   void write_line(std::string_view line, std::string_view ending = "\n");
 
   /// logrotate: renames the live file to `rotated_path` and recreates the
-  /// live path empty (new inode).
+  /// live path empty (new inode). Queued lines flush to the old file first.
   void rotate(const std::string& rotated_path);
 
   /// `> path`: truncates the live file in place (same inode); appending
-  /// restarts at offset 0.
+  /// restarts at offset 0. Queued lines flush (and are then lost to any
+  /// reader that had not drained them — exactly the real-world hazard).
   void truncate_restart();
 
   [[nodiscard]] std::uint64_t records_written() const noexcept {
     return records_;
   }
+  /// Bytes actually handed to the OS (queued-but-unflushed bytes excluded).
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
     return bytes_;
   }
@@ -92,11 +111,15 @@ class StreamWriter {
 
  private:
   void open_fresh();
+  /// write(2) loop: retries EINTR and partial writes until all is out.
+  void raw_write(const char* data, std::size_t size);
 
   std::string path_;
   FaultPlan plan_;
   stats::Rng rng_;
-  std::ofstream out_;
+  int fd_ = -1;
+  std::size_t batch_lines_;
+  std::vector<std::string> pending_;  ///< queued complete lines (batched)
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t rotation_count_ = 0;

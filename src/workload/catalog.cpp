@@ -1,0 +1,197 @@
+#include "workload/catalog.hpp"
+
+namespace divscrape::workload {
+
+namespace {
+
+AttackSpec fleet(int campaigns, int bots, int slow_bots) {
+  AttackSpec attack;
+  attack.kind = AttackKind::kFleet;
+  attack.campaigns = campaigns;
+  attack.bots = bots;
+  attack.slow_bots = slow_bots;
+  return attack;
+}
+
+AttackSpec stealth(int bots) {
+  AttackSpec attack;
+  attack.kind = AttackKind::kStealth;
+  attack.bots = bots;
+  return attack;
+}
+
+AttackSpec api_pollers(int clean_bots, int fleet_bots) {
+  AttackSpec attack;
+  attack.kind = AttackKind::kApiPollers;
+  attack.bots = clean_bots;
+  attack.fleet_bots = fleet_bots;
+  return attack;
+}
+
+AttackSpec malformed(int bots) {
+  AttackSpec attack;
+  attack.kind = AttackKind::kMalformed;
+  attack.bots = bots;
+  return attack;
+}
+
+AttackSpec caching(int bots) {
+  AttackSpec attack;
+  attack.kind = AttackKind::kCaching;
+  attack.bots = bots;
+  return attack;
+}
+
+/// The paper-shaped deployment as a spec: one vhost, the calibrated
+/// amadeus_like populations (mirrors traffic::amadeus_like()'s defaults).
+ScenarioSpec make_amadeus_like() {
+  ScenarioSpec spec;
+  spec.name = "amadeus_like";
+  VhostSpec www;
+  www.attacks = {fleet(3, 350, 9), stealth(25), api_pollers(3, 2),
+                 malformed(3), caching(2)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// A benign flash crowd: a sale/press spike multiplies human arrivals 40x
+/// for two hours on day 1, over an ordinary background attack mix. The
+/// interesting question is the detectors' false-positive behaviour during
+/// the surge, so the malicious population is deliberately modest.
+ScenarioSpec make_flash_crowd() {
+  ScenarioSpec spec;
+  spec.name = "flash_crowd";
+  spec.duration_days = 2.0;
+  VhostSpec www;
+  www.humans.arrivals_per_s = 0.06;
+  www.humans.surge_start_day = 1.0;
+  www.humans.surge_duration_h = 2.0;
+  www.humans.surge_multiplier = 40.0;
+  www.attacks = {fleet(1, 90, 4), caching(2)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// A scraping fleet onboarding over three days: four campaigns whose
+/// members' first sessions are spread over the ramp, so pressure grows
+/// from single probes to full sweep — the shape a SOC sees when a new
+/// scraping-as-a-service customer targets the site.
+ScenarioSpec make_scraper_fleet_ramp() {
+  ScenarioSpec spec;
+  spec.name = "scraper_fleet_ramp";
+  spec.duration_days = 4.0;
+  VhostSpec www;
+  auto wave = fleet(4, 240, 6);
+  wave.ramp_days = 3.0;
+  wave.gap_mean_s = 0.5;
+  www.attacks = {wave, caching(2)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// A patient, distributed campaign: hundreds of stealth bots on clean
+/// residential addresses, human-like pacing, small sessions, two weeks of
+/// runway — each bot stays under the behavioural floor while the campaign
+/// extracts the catalogue. The paper's discussion names this the hardest
+/// shape; the reproduction makes it a first-class workload.
+ScenarioSpec make_low_and_slow() {
+  ScenarioSpec spec;
+  spec.name = "low_and_slow";
+  spec.duration_days = 14.0;
+  VhostSpec www;
+  auto wave = stealth(320);
+  wave.ramp_days = 4.0;
+  wave.pause_mean_s = 10'800.0;
+  wave.lifetime_requests = 1'200;
+  www.attacks = {wave, malformed(1)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// Three vhosts of one estate: the main shop (big catalogue, fleet +
+/// stealth pressure), the mobile/API host (small pages, API pollers), and
+/// a partner/agency portal (tiny catalogue, buggy automation). Exercises
+/// the multi-file merge end to end with genuinely different per-vhost
+/// traffic shapes.
+ScenarioSpec make_mixed_multi_vhost() {
+  ScenarioSpec spec;
+  spec.name = "mixed_multi_vhost";
+  spec.duration_days = 3.0;
+
+  VhostSpec www;
+  www.name = "www";
+  www.humans.arrivals_per_s = 0.04;
+  www.attacks = {fleet(2, 260, 8), stealth(40)};
+
+  VhostSpec mobile;
+  mobile.name = "m";
+  mobile.site.catalogue_size = 20'000;
+  mobile.site.asset_count = 8;
+  mobile.humans.arrivals_per_s = 0.02;
+  mobile.crawlers = 1;
+  mobile.attacks = {api_pollers(4, 3), caching(3)};
+
+  VhostSpec agency;
+  agency.name = "agency";
+  agency.site.catalogue_size = 5'000;
+  agency.site.city_pairs = 80;
+  agency.humans.arrivals_per_s = 0.004;
+  agency.crawlers = 0;
+  agency.monitors = 1;
+  agency.attacks = {malformed(4), stealth(10)};
+
+  spec.vhosts = {std::move(www), std::move(mobile), std::move(agency)};
+  return spec;
+}
+
+/// A one-hour miniature with every population represented — mirrors
+/// traffic::smoke_test() so unit tests and CI smokes finish in
+/// milliseconds yet still produce alerts from both detectors.
+ScenarioSpec make_smoke() {
+  ScenarioSpec spec;
+  spec.name = "smoke";
+  spec.duration_days = 1.0 / 24.0;
+  VhostSpec www;
+  www.site.catalogue_size = 2'000;
+  www.humans.arrivals_per_s = 0.02;
+  www.crawlers = 1;
+  www.monitors = 1;
+  www.attacks = {fleet(1, 12, 2), stealth(2), api_pollers(1, 1),
+                 malformed(1), caching(1)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = {
+      {"amadeus_like",
+       "the paper-shaped 8-day single-vhost reproduction workload"},
+      {"flash_crowd",
+       "benign 40x human surge over a modest attack mix (FP stressor)"},
+      {"scraper_fleet_ramp",
+       "four fleets onboarding over 3 days, probe to full sweep"},
+      {"low_and_slow",
+       "320 stealth bots, clean IPs, two patient weeks (hardest shape)"},
+      {"mixed_multi_vhost",
+       "shop + mobile API + agency portal, distinct sites and mixes"},
+      {"smoke", "one-hour miniature of every population, for CI and tests"},
+  };
+  return entries;
+}
+
+std::optional<ScenarioSpec> catalog_entry(std::string_view name,
+                                          double scale) {
+  std::optional<ScenarioSpec> spec;
+  if (name == "amadeus_like") spec = make_amadeus_like();
+  if (name == "flash_crowd") spec = make_flash_crowd();
+  if (name == "scraper_fleet_ramp") spec = make_scraper_fleet_ramp();
+  if (name == "low_and_slow") spec = make_low_and_slow();
+  if (name == "mixed_multi_vhost") spec = make_mixed_multi_vhost();
+  if (name == "smoke") spec = make_smoke();
+  if (spec) spec->scale = scale;
+  return spec;
+}
+
+}  // namespace divscrape::workload

@@ -1,0 +1,45 @@
+// The scenario catalog: named, ready-to-run ScenarioSpecs covering the
+// workload families the detectors must face in production — the paper
+// reproduction, benign bursts, growing campaigns, stealth campaigns and
+// multi-vhost estates. `divscrape_cli simulate <name>` resolves here;
+// every entry is also a template: dump it with `--dump-spec`, edit the
+// JSON, and simulate the file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/scenario_spec.hpp"
+
+namespace divscrape::workload {
+
+/// One catalog listing: the name `catalog_entry` resolves plus a one-line
+/// description for `simulate --list` and the README.
+struct CatalogEntry {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// Every catalog entry, in presentation order.
+[[nodiscard]] const std::vector<CatalogEntry>& catalog();
+
+/// Builds the named spec at population multiplier `scale`; nullopt for an
+/// unknown name. Names:
+///
+///   amadeus_like       the paper-shaped 8-day single-vhost reproduction
+///   flash_crowd        a benign human surge (sale/press spike) over a
+///                      baseline attack mix — false-positive stressor
+///   scraper_fleet_ramp a botnet onboarding over days, from first probes
+///                      to full sweep pressure — detection-latency shape
+///   low_and_slow       a patient stealth campaign under clean addresses
+///                      — the hardest shape in the paper's discussion
+///   mixed_multi_vhost  three vhosts (main shop, mobile API, agency
+///                      portal) with distinct sites and attack mixes
+///   smoke              a one-hour miniature with every population, for
+///                      CI smokes and unit tests
+[[nodiscard]] std::optional<ScenarioSpec> catalog_entry(std::string_view name,
+                                                        double scale = 1.0);
+
+}  // namespace divscrape::workload

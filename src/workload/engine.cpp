@@ -1,0 +1,713 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/rng.hpp"
+#include "traffic/bots.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/human.hpp"
+#include "traffic/scrapers.hpp"
+#include "traffic/ua_pool.hpp"
+
+namespace divscrape::workload {
+
+namespace {
+
+using httplog::Ipv4;
+using httplog::Timestamp;
+using httplog::seconds_to_micros;
+using stats::Rng;
+using stats::mix_seed;
+
+// Seed-derivation salts: every RNG of a spec run is seeded by hashing
+// (spec seed, role salt, stable ordinal), never by walking a shared fork
+// chain, so an actor's stream is a pure function of its identity — the
+// property the partitioning determinism rests on.
+constexpr std::uint64_t kActorSalt = 0xAC100001ULL;
+constexpr std::uint64_t kArrivalSalt = 0xA1100001ULL;
+constexpr std::uint64_t kSessionSalt = 0x5E550001ULL;
+/// Human actor ids live far above static-actor ordinals.
+constexpr std::uint32_t kHumanIdBase = 0x40000000u;
+
+int scaled(int count, double scale) {
+  if (count == 0) return 0;
+  return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+/// Campaign c owns the /16 at 45.(140+c).0.0 (mod 100 keeps the second
+/// octet in range for arbitrarily large specs).
+Ipv4 campaign_base(int campaign) noexcept {
+  return Ipv4(45, static_cast<std::uint8_t>(140 + campaign % 100), 0, 0);
+}
+
+/// Fast fleet member b sits in one of the campaign's /24s, hosts .2+.
+Ipv4 fleet_ip(int campaign, int bot) noexcept {
+  const auto base = campaign_base(campaign).value();
+  const std::uint32_t subnet = static_cast<std::uint32_t>(bot / 200) % 256;
+  const std::uint32_t host = 2 + static_cast<std::uint32_t>(bot % 200);
+  return Ipv4(base | (subnet << 8) | host);
+}
+
+/// Slow members park at .200+ so they never collide with fast members.
+Ipv4 slow_fleet_ip(int campaign, int bot) noexcept {
+  const auto base = campaign_base(campaign).value();
+  return Ipv4(base | (static_cast<std::uint32_t>(bot % 2) << 8) |
+              (200u + static_cast<std::uint32_t>(bot / 2) % 50));
+}
+
+/// A human victim address inside a random campaign /24 (collateral pool).
+Ipv4 botnet_neighbour_ip(Rng& rng, int campaigns) {
+  const int c = static_cast<int>(rng.uniform_int(0, campaigns - 1));
+  const auto base = campaign_base(c).value();
+  const std::uint32_t subnet =
+      static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+  const std::uint32_t host =
+      180u + static_cast<std::uint32_t>(rng.uniform_int(0, 15));
+  return Ipv4(base | (subnet << 8) | host);
+}
+
+/// Applies an attack wave's timing overrides onto an archetype profile
+/// (0 keeps the archetype default; lifetime 0 keeps it too, except for the
+/// aggressive fleet whose archetype default is already "unlimited").
+void apply_overrides(traffic::BotProfile& profile, const AttackSpec& attack) {
+  if (attack.gap_mean_s > 0.0) profile.gap_mean_s = attack.gap_mean_s;
+  if (attack.session_len_mean > 0.0)
+    profile.session_len_mean = attack.session_len_mean;
+  if (attack.pause_mean_s > 0.0) profile.pause_mean_s = attack.pause_mean_s;
+  if (attack.lifetime_requests != 0)
+    profile.lifetime_requests = attack.lifetime_requests;
+}
+
+/// Builds partition `partition` of `partitions` for one spec: walks the
+/// whole population in a fixed order, claims every actor whose global
+/// ordinal lands on this partition, and registers it with the generator.
+/// The walk itself is partition-independent (ordinals and campaign indices
+/// advance identically everywhere); only construction is filtered.
+class PopulationBuilder {
+ public:
+  PopulationBuilder(
+      const ScenarioSpec& spec,
+      const std::vector<std::unique_ptr<traffic::SiteModel>>& sites,
+      std::size_t partitions, std::size_t partition,
+      traffic::TrafficGenerator& gen)
+      : spec_(spec),
+        sites_(sites),
+        partitions_(partitions),
+        partition_(partition),
+        gen_(gen) {
+    for (const auto& vhost : spec_.vhosts) {
+      for (const auto& attack : vhost.attacks)
+        total_campaigns_ += campaigns_of(attack);
+    }
+  }
+
+  void build() {
+    for (std::size_t v = 0; v < spec_.vhosts.size(); ++v) {
+      add_humans(v);
+      add_benign_bots(v);
+      for (const auto& attack : spec_.vhosts[v].attacks) {
+        const int campaign0 = campaign_cursor_;
+        campaign_cursor_ += campaigns_of(attack);
+        add_attack(v, attack, campaign0);
+      }
+    }
+  }
+
+ private:
+  static int campaigns_of(const AttackSpec& attack) noexcept {
+    if (attack.kind == AttackKind::kFleet) return attack.campaigns;
+    if (attack.kind == AttackKind::kApiPollers) return 1;
+    return 0;
+  }
+
+  /// Claims the next global actor ordinal into `salt`; true when this
+  /// partition owns the actor. Must be called exactly once per potential
+  /// actor, owned or not.
+  bool claim(std::uint64_t& salt) noexcept {
+    salt = ordinal_++;
+    return salt % partitions_ == partition_;
+  }
+
+  [[nodiscard]] Rng actor_rng(std::uint64_t salt) const noexcept {
+    return Rng(mix_seed(mix_seed(spec_.seed, kActorSalt), salt));
+  }
+
+  /// First-session time: an explicit onboarding ramp spreads arrivals over
+  /// `ramp_days`; otherwise the archetype stagger (uniform over one pause,
+  /// capped at half the scenario so short runs still see everyone).
+  [[nodiscard]] Timestamp start_time(Rng& rng, double pause_s,
+                                     double ramp_days) const {
+    const double duration_s = spec_.duration_days * 24.0 * 3600.0;
+    const double window_s =
+        ramp_days > 0.0 ? std::min(ramp_days * 24.0 * 3600.0, duration_s)
+                        : std::min(pause_s, duration_s / 2.0);
+    return spec_.start + seconds_to_micros(rng.uniform(0.0, window_s));
+  }
+
+  void add_humans(std::size_t v) {
+    const auto& mix = spec_.vhosts[v].humans;
+    // Poisson superposition in reverse: P independent processes at rate/P
+    // compose to the same aggregate arrival process, and each partition's
+    // slice is deterministic in (spec, partitions, partition) alone.
+    const double base_rate =
+        mix.arrivals_per_s * spec_.scale / static_cast<double>(partitions_);
+    if (base_rate <= 0.0) return;
+    auto arrivals_rng = std::make_shared<Rng>(
+        mix_seed(mix_seed(spec_.seed, kArrivalSalt + v), partition_));
+    auto session_rng = std::make_shared<Rng>(
+        mix_seed(mix_seed(spec_.seed, kSessionSalt + v), partition_));
+    const Timestamp day0 = spec_.start;
+    const double amplitude = mix.diurnal_amplitude;
+    const bool has_surge = mix.surge_start_day >= 0.0 &&
+                           mix.surge_duration_h > 0.0 &&
+                           mix.surge_multiplier != 1.0;
+    const std::int64_t surge_begin =
+        day0.micros() +
+        static_cast<std::int64_t>(mix.surge_start_day * httplog::kMicrosPerDay);
+    const std::int64_t surge_end =
+        surge_begin + static_cast<std::int64_t>(mix.surge_duration_h *
+                                                httplog::kMicrosPerHour);
+    const double surge_multiplier = mix.surge_multiplier;
+
+    const auto rate_at = [base_rate, amplitude, day0, has_surge, surge_begin,
+                          surge_end, surge_multiplier](Timestamp now) {
+      const double hours = static_cast<double>(now - day0) / 1e6 / 3600.0;
+      const double modulation =
+          1.0 + amplitude * std::sin((hours - 9.0) / 24.0 * 2.0 * 3.14159265);
+      double rate = base_rate * modulation;
+      if (has_surge && now.micros() >= surge_begin && now.micros() < surge_end)
+        rate *= surge_multiplier;
+      return std::max(1e-9, rate);
+    };
+
+    traffic::ArrivalProcess humans;
+    humans.next_arrival = [arrivals_rng, rate_at, has_surge, surge_begin,
+                           surge_end](
+                              Timestamp now) -> std::optional<Timestamp> {
+      // A draw that crosses a surge boundary restarts at the boundary
+      // with the boundary's rate. Exponential memorylessness makes this
+      // exact for a piecewise-constant rate — without the entry re-draw a
+      // quiet vhost could sleep through its own flash crowd, and without
+      // the exit re-draw the first post-surge arrival would land at the
+      // surged (compressed) gap.
+      const auto redraw_at = [&](std::int64_t boundary_us) {
+        const Timestamp boundary(boundary_us);
+        return boundary + seconds_to_micros(
+                              arrivals_rng->exponential(1.0 / rate_at(boundary)));
+      };
+      Timestamp next =
+          now + seconds_to_micros(arrivals_rng->exponential(1.0 / rate_at(now)));
+      if (has_surge && now.micros() < surge_begin &&
+          next.micros() > surge_begin) {
+        next = redraw_at(surge_begin);
+      }
+      if (has_surge && now.micros() < surge_end &&
+          next.micros() > surge_end) {
+        next = redraw_at(surge_end);
+      }
+      return next;
+    };
+
+    const auto* site = sites_[v].get();
+    const traffic::HumanConfig human_config;
+    const double fp_p = mix.in_botnet_subnet_p;
+    const int campaigns = total_campaigns_;
+    auto id_counter = std::make_shared<std::uint32_t>(0);
+    const std::uint32_t id_stride = static_cast<std::uint32_t>(partitions_);
+    // Base is salted per vhost: each vhost's arrival process counts from
+    // zero, so without the salt the first human of every vhost in a given
+    // partition would share one id.
+    const std::uint32_t id_offset =
+        static_cast<std::uint32_t>(v) * 0x01000000u +
+        static_cast<std::uint32_t>(partition_);
+    humans.make_actor = [session_rng, site, human_config, fp_p, campaigns,
+                         id_counter, id_stride,
+                         id_offset](Timestamp) -> std::unique_ptr<traffic::Actor> {
+      Rng rng = session_rng->fork();
+      const bool in_botnet = rng.bernoulli(fp_p) && campaigns > 0;
+      const Ipv4 ip = in_botnet ? botnet_neighbour_ip(rng, campaigns)
+                                : traffic::sample_clean_ip(rng);
+      const std::uint32_t id =
+          kHumanIdBase + id_offset + id_stride * (*id_counter)++;
+      return std::make_unique<traffic::HumanActor>(
+          *site, human_config, ip,
+          std::string(traffic::sample_browser_ua(rng)), rng, id);
+    };
+    gen_.add_arrivals(std::move(humans), spec_.start);
+  }
+
+  void add_benign_bots(std::size_t v) {
+    const auto& vhost = spec_.vhosts[v];
+    const auto& site = *sites_[v];
+    const Timestamp end = spec_.end();
+    for (int i = 0; i < scaled(vhost.crawlers, spec_.scale); ++i) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::CrawlerActor::Config cc;
+      cc.crawl_gap_mean_s = vhost.crawler_gap_mean_s;
+      cc.end_time = end;
+      const Ipv4 ip(66, 249, static_cast<std::uint8_t>(64 + (i / 200) % 8),
+                    static_cast<std::uint8_t>(10 + i % 200));
+      auto actor = std::make_unique<traffic::CrawlerActor>(
+          site, cc, ip, std::string(traffic::sample_crawler_ua(rng)), rng,
+          actor_id(salt));
+      gen_.add_actor(std::move(actor),
+                     spec_.start + seconds_to_micros(rng.uniform(0.0, 60.0)));
+    }
+    for (int i = 0; i < scaled(vhost.monitors, spec_.scale); ++i) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::MonitorActor::Config mc;
+      mc.period_s = vhost.monitor_period_s;
+      mc.end_time = end;
+      const Ipv4 ip(63, 143, static_cast<std::uint8_t>(42 + (i / 16) % 8),
+                    static_cast<std::uint8_t>(240 + i % 16));
+      gen_.add_actor(
+          std::make_unique<traffic::MonitorActor>(site, mc, ip, rng,
+                                                  actor_id(salt)),
+          spec_.start +
+              seconds_to_micros(rng.uniform(0.0, vhost.monitor_period_s)));
+    }
+  }
+
+  void add_attack(std::size_t v, const AttackSpec& attack, int campaign0) {
+    switch (attack.kind) {
+      case AttackKind::kFleet:
+        add_fleet(v, attack, campaign0);
+        break;
+      case AttackKind::kStealth:
+        add_stealth(v, attack);
+        break;
+      case AttackKind::kApiPollers:
+        add_api_pollers(v, attack, campaign0);
+        break;
+      case AttackKind::kMalformed:
+        add_malformed(v, attack);
+        break;
+      case AttackKind::kCaching:
+        add_caching(v, attack);
+        break;
+    }
+  }
+
+  void add_fleet(std::size_t v, const AttackSpec& attack, int campaign0) {
+    const auto& site = *sites_[v];
+    const Timestamp end = spec_.end();
+    const int bots = scaled(attack.bots, spec_.scale);
+    const int slow = scaled(attack.slow_bots, spec_.scale);
+    for (int c = 0; c < attack.campaigns; ++c) {
+      for (int b = 0; b < bots; ++b) {
+        std::uint64_t salt = 0;
+        const bool mine = claim(salt);
+        if (!mine) continue;
+        Rng rng = actor_rng(salt);
+        traffic::BotProfile profile = traffic::aggressive_fleet_profile();
+        profile.ip = fleet_ip(campaign0 + c, b);
+        // Per-bot UA identity: half spoof current browsers, the rest leak
+        // automation markers (mirrors the mixed tooling of real botnets).
+        const double ua_roll = rng.uniform();
+        if (ua_roll < 0.45) {
+          profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+        } else if (ua_roll < 0.55) {
+          profile.user_agent =
+              std::string(traffic::sample_stale_browser_ua(rng));
+        } else if (ua_roll < 0.80) {
+          profile.user_agent = std::string(traffic::sample_script_ua(rng));
+        } else {
+          profile.user_agent = std::string(traffic::sample_headless_ua(rng));
+        }
+        apply_overrides(profile, attack);
+        profile.lifetime_requests = attack.lifetime_requests;
+        const double pause = profile.pause_mean_s;
+        auto actor = std::make_unique<traffic::ScraperBot>(
+            site, std::move(profile), end, rng, actor_id(salt));
+        gen_.add_actor(std::move(actor),
+                       start_time(rng, pause, attack.ramp_days));
+      }
+      // Slow members: below the behavioural floor, inside the flagged
+      // subnets. They keep their sub-threshold archetype timing — fleet
+      // overrides apply to the fast members only.
+      for (int b = 0; b < slow; ++b) {
+        std::uint64_t salt = 0;
+        if (!claim(salt)) continue;
+        Rng rng = actor_rng(salt);
+        traffic::BotProfile profile = traffic::slow_fleet_member_profile();
+        profile.ip = slow_fleet_ip(campaign0 + c, b);
+        profile.user_agent = std::string(
+            rng.bernoulli(0.3) ? traffic::sample_stale_browser_ua(rng)
+                               : traffic::sample_browser_ua(rng));
+        auto actor = std::make_unique<traffic::ScraperBot>(
+            site, std::move(profile), end, rng, actor_id(salt));
+        gen_.add_actor(std::move(actor),
+                       start_time(rng, 43'200.0, attack.ramp_days));
+      }
+    }
+  }
+
+  void add_stealth(std::size_t v, const AttackSpec& attack) {
+    const auto& site = *sites_[v];
+    const Timestamp end = spec_.end();
+    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::BotProfile profile = traffic::stealth_scraper_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, actor_id(salt));
+      gen_.add_actor(std::move(actor),
+                     start_time(rng, pause, attack.ramp_days));
+    }
+  }
+
+  void add_api_pollers(std::size_t v, const AttackSpec& attack,
+                       int campaign0) {
+    const auto& site = *sites_[v];
+    const Timestamp end = spec_.end();
+    // Clean-IP flavour (the in-house tool's catch).
+    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::BotProfile profile = traffic::api_clean_poller_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, actor_id(salt));
+      gen_.add_actor(std::move(actor),
+                     start_time(rng, pause, attack.ramp_days));
+    }
+    // Fleet flavour (the commercial tool's catch): parks on the attack's
+    // own campaign /16 at high host addresses.
+    for (int b = 0; b < scaled(attack.fleet_bots, spec_.scale); ++b) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::BotProfile profile = traffic::api_fleet_poller_profile();
+      profile.ip = Ipv4(campaign_base(campaign0).value() |
+                        (250u + static_cast<std::uint32_t>(b) % 5));
+      profile.user_agent = std::string(traffic::sample_script_ua(rng));
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, actor_id(salt));
+      gen_.add_actor(std::move(actor),
+                     start_time(rng, 28'800.0, attack.ramp_days));
+    }
+  }
+
+  void add_malformed(std::size_t v, const AttackSpec& attack) {
+    const auto& site = *sites_[v];
+    const Timestamp end = spec_.end();
+    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::BotProfile profile = traffic::malformed_scraper_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, actor_id(salt));
+      gen_.add_actor(std::move(actor),
+                     start_time(rng, pause, attack.ramp_days));
+    }
+  }
+
+  void add_caching(std::size_t v, const AttackSpec& attack) {
+    const auto& site = *sites_[v];
+    const Timestamp end = spec_.end();
+    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
+      std::uint64_t salt = 0;
+      if (!claim(salt)) continue;
+      Rng rng = actor_rng(salt);
+      traffic::BotProfile profile = traffic::caching_scraper_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, actor_id(salt));
+      gen_.add_actor(std::move(actor),
+                     start_time(rng, pause, attack.ramp_days));
+    }
+  }
+
+  [[nodiscard]] static std::uint32_t actor_id(std::uint64_t salt) noexcept {
+    return static_cast<std::uint32_t>(salt + 1);
+  }
+
+  const ScenarioSpec& spec_;
+  const std::vector<std::unique_ptr<traffic::SiteModel>>& sites_;
+  std::size_t partitions_;
+  std::size_t partition_;
+  traffic::TrafficGenerator& gen_;
+  std::uint64_t ordinal_ = 0;    ///< global actor ordinal (walk-stable)
+  int campaign_cursor_ = 0;      ///< global /16 allocation (walk-stable)
+  int total_campaigns_ = 0;
+};
+
+}  // namespace
+
+/// One logical partition: its generator, the record carried across the
+/// current window horizon, and the two generation buffers (one being
+/// merged while the other fills).
+struct WorkloadEngine::Partition {
+  std::size_t index = 0;
+  bool built = false;
+  std::unique_ptr<traffic::TrafficGenerator> gen;
+  httplog::LogRecord carry;
+  bool has_carry = false;
+  bool exhausted = false;
+  std::vector<httplog::LogRecord> buffers[2];
+};
+
+/// Round-based worker pool: start_round() hands every partition out via an
+/// atomic counter; workers build partitions lazily (construction
+/// parallelizes for free) and signal completion per partition.
+struct WorkloadEngine::Pool {
+  std::mutex mutex;
+  std::condition_variable round_start;
+  std::condition_variable round_done;
+  std::vector<std::thread> workers;
+  std::uint64_t round = 0;
+  std::atomic<std::size_t> next_part{0};
+  std::size_t completed = 0;
+  httplog::Timestamp horizon;
+  int buf = 0;
+  bool shutdown = false;
+};
+
+WorkloadEngine::WorkloadEngine(ScenarioSpec spec, EngineConfig config)
+    : spec_(std::move(spec)), config_(config) {
+  if (config_.gen_threads < 1)
+    throw std::invalid_argument("WorkloadEngine: gen_threads must be >= 1");
+  if (config_.partitions < 1)
+    throw std::invalid_argument("WorkloadEngine: partitions must be >= 1");
+  if (config_.window_us <= 0)
+    throw std::invalid_argument("WorkloadEngine: window_us must be > 0");
+  sites_.reserve(spec_.vhosts.size());
+  for (const auto& vhost : spec_.vhosts)
+    sites_.push_back(std::make_unique<traffic::SiteModel>(vhost.site));
+  parts_.reserve(config_.partitions);
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    parts_.push_back(std::make_unique<Partition>());
+    parts_.back()->index = p;
+  }
+  token_remap_.resize(config_.partitions);
+}
+
+WorkloadEngine::~WorkloadEngine() {
+  if (!pool_) return;
+  {
+    std::lock_guard lock(pool_->mutex);
+    pool_->shutdown = true;
+  }
+  pool_->round_start.notify_all();
+  for (auto& worker : pool_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void WorkloadEngine::build_partition(Partition& part) const {
+  part.gen = std::make_unique<traffic::TrafficGenerator>(spec_.end());
+  PopulationBuilder(spec_, sites_, config_.partitions, part.index, *part.gen)
+      .build();
+  part.built = true;
+}
+
+void WorkloadEngine::generate_window(Partition& part, Timestamp horizon,
+                                     int buf) {
+  auto& out = part.buffers[buf];
+  out.clear();
+  if (part.has_carry) {
+    if (part.carry.time >= horizon) return;  // still beyond this window
+    out.push_back(std::move(part.carry));
+    part.has_carry = false;
+  }
+  if (part.exhausted) return;
+  httplog::LogRecord record;
+  while (part.gen->next(record)) {
+    if (record.time >= horizon) {
+      part.carry = std::move(record);
+      part.has_carry = true;
+      return;
+    }
+    out.push_back(std::move(record));
+  }
+  part.exhausted = true;
+}
+
+void WorkloadEngine::worker_loop() {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(pool_->mutex);
+      pool_->round_start.wait(lock, [&] {
+        return pool_->shutdown || pool_->round != seen_round;
+      });
+      if (pool_->shutdown) return;
+      seen_round = pool_->round;
+    }
+    for (;;) {
+      const std::size_t i = pool_->next_part.fetch_add(1);
+      if (i >= parts_.size()) break;
+      // Re-read the round parameters under the mutex: a straggler from the
+      // previous round can legitimately claim the first task of the next
+      // one (the counter was reset before it re-checked), and must then
+      // use the *new* horizon and buffer, not its cached idea of them.
+      Timestamp horizon;
+      int buf;
+      {
+        std::lock_guard lock(pool_->mutex);
+        horizon = pool_->horizon;
+        buf = pool_->buf;
+      }
+      Partition& part = *parts_[i];
+      if (!part.built) build_partition(part);
+      generate_window(part, horizon, buf);
+      {
+        std::lock_guard lock(pool_->mutex);
+        if (++pool_->completed == parts_.size())
+          pool_->round_done.notify_one();
+      }
+    }
+  }
+}
+
+void WorkloadEngine::start_round(Timestamp horizon, int buf) {
+  {
+    std::lock_guard lock(pool_->mutex);
+    pool_->horizon = horizon;
+    pool_->buf = buf;
+    pool_->completed = 0;
+    pool_->next_part.store(0);
+    ++pool_->round;
+  }
+  pool_->round_start.notify_all();
+}
+
+void WorkloadEngine::wait_round() {
+  std::unique_lock lock(pool_->mutex);
+  pool_->round_done.wait(lock,
+                         [&] { return pool_->completed == parts_.size(); });
+}
+
+void WorkloadEngine::merge_window(int buf, const RecordSink& sink) {
+  // K-way merge of the window's per-partition buffers. The key is
+  // (timestamp, partition, per-partition order) — per-partition order is
+  // preserved because a partition's next record enters the heap only after
+  // its predecessor left.
+  struct Head {
+    std::int64_t time_us;
+    std::uint32_t part;
+    std::size_t idx;
+  };
+  const auto after = [](const Head& a, const Head& b) noexcept {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    return a.part > b.part;
+  };
+  std::vector<Head> heap;
+  heap.reserve(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    const auto& buffer = parts_[p]->buffers[buf];
+    if (!buffer.empty()) {
+      heap.push_back(
+          {buffer.front().time.micros(), static_cast<std::uint32_t>(p), 0});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    const Head head = heap.back();
+    heap.pop_back();
+    auto& buffer = parts_[head.part]->buffers[buf];
+    auto& record = buffer[head.idx];
+    // Partition-local ua_token -> engine-global token space: an O(1)
+    // table lookup per record; the interner is probed once per distinct
+    // (partition, token) pair.
+    auto& remap = token_remap_[head.part];
+    const std::uint32_t local = record.ua_token;
+    if (local == 0) {
+      record.ua_token = ua_tokens_.intern(record.user_agent);
+    } else {
+      if (local >= remap.size()) remap.resize(local + 1, 0);
+      if (remap[local] == 0)
+        remap[local] = ua_tokens_.intern(record.user_agent);
+      record.ua_token = remap[local];
+    }
+    sink(std::move(record));
+    ++emitted_;
+    if (head.idx + 1 < buffer.size()) {
+      heap.push_back({buffer[head.idx + 1].time.micros(), head.part,
+                      head.idx + 1});
+      std::push_heap(heap.begin(), heap.end(), after);
+    }
+  }
+}
+
+std::uint64_t WorkloadEngine::run(const RecordSink& sink) {
+  if (ran_) throw std::logic_error("WorkloadEngine: run() called twice");
+  ran_ = true;
+  if (spec_.vhosts.empty()) return 0;
+
+  pool_ = std::make_unique<Pool>();
+  pool_->workers.reserve(config_.gen_threads);
+  for (std::size_t t = 0; t < config_.gen_threads; ++t) {
+    pool_->workers.emplace_back([this] { worker_loop(); });
+  }
+
+  const auto horizon_of = [this](std::uint64_t round) {
+    return spec_.start + static_cast<std::int64_t>(round + 1) *
+                             config_.window_us;
+  };
+
+  int gen_buf = 0;
+  std::uint64_t next_window = 0;
+  start_round(horizon_of(next_window++), gen_buf);
+  wait_round();
+  for (;;) {
+    const int merge_buf = gen_buf;
+    // Safe to inspect partition state: all workers are idle between
+    // wait_round() and the next start_round().
+    bool more = false;
+    for (const auto& part : parts_) {
+      if (!part->exhausted || part->has_carry) {
+        more = true;
+        break;
+      }
+    }
+    if (more) {
+      // Pipeline: round w+1 generates into the other buffer while this
+      // thread merges round w.
+      gen_buf ^= 1;
+      start_round(horizon_of(next_window++), gen_buf);
+    }
+    merge_window(merge_buf, sink);
+    if (!more) break;
+    wait_round();
+  }
+
+  {
+    std::lock_guard lock(pool_->mutex);
+    pool_->shutdown = true;
+  }
+  pool_->round_start.notify_all();
+  for (auto& worker : pool_->workers) worker.join();
+  pool_.reset();
+  return emitted_;
+}
+
+}  // namespace divscrape::workload

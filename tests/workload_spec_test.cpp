@@ -1,0 +1,199 @@
+// Scenario-spec layer: the JSON parser, the spec codec (load -> dump ->
+// load equality), catalog integrity, and validation diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/json_parse.hpp"
+#include "workload/catalog.hpp"
+#include "workload/scenario_spec.hpp"
+
+namespace divscrape {
+namespace {
+
+// ---------------------------------------------------------------------------
+// core::parse_json
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, ParsesNestedDocument) {
+  const auto doc = core::parse_json(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true, "e": null}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const auto* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[0].as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(a->array()[1].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(a->array()[2].as_double(), -300.0);
+  const auto* b = doc->find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string_or("c", ""), "x\ny");
+  EXPECT_TRUE(b->bool_or("d", false));
+  const auto* e = b->find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_null());
+}
+
+TEST(JsonParse, PreservesU64Precision) {
+  // 2^63 + 9 is not representable as a double; the literal re-parse must
+  // keep it exact (hash-valued seeds round-trip through specs).
+  const auto doc = core::parse_json(R"({"seed": 9223372036854775817})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->u64_or("seed", 0), 9223372036854775817ULL);
+}
+
+TEST(JsonParse, DecodesStringEscapes) {
+  const auto doc = core::parse_json(R"(["é\t\"\\", "😀"])");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->array()[0].as_string_view(), "\xC3\xA9\t\"\\");
+  EXPECT_EQ(doc->array()[1].as_string_view(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(core::parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(core::parse_json("", &error).has_value());
+  EXPECT_FALSE(core::parse_json("{\"a\": 1} trailing", &error).has_value());
+  EXPECT_FALSE(core::parse_json("[1, 2,]", &error).has_value());
+  EXPECT_FALSE(core::parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(core::parse_json("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(core::parse_json("nul", &error).has_value());
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(core::parse_json(deep).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadCatalog, ListsEveryEntryAndResolvesThem) {
+  const auto& entries = workload::catalog();
+  ASSERT_GE(entries.size(), 6u);  // amadeus_like + >= 4 scenarios + smoke
+  for (const auto& entry : entries) {
+    const auto spec = workload::catalog_entry(entry.name);
+    ASSERT_TRUE(spec.has_value()) << entry.name;
+    EXPECT_EQ(spec->name, entry.name);
+    EXPECT_GT(spec->duration_days, 0.0) << entry.name;
+    EXPECT_FALSE(spec->vhosts.empty()) << entry.name;
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+  }
+  EXPECT_FALSE(workload::catalog_entry("no_such_scenario").has_value());
+}
+
+TEST(WorkloadCatalog, ScaleIsApplied) {
+  const auto spec = workload::catalog_entry("smoke", 0.25);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->scale, 0.25);
+}
+
+TEST(WorkloadCatalog, MixedMultiVhostHasDistinctSites) {
+  const auto spec = workload::catalog_entry("mixed_multi_vhost");
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_EQ(spec->vhosts.size(), 3u);
+  EXPECT_NE(spec->vhosts[0].site.catalogue_size,
+            spec->vhosts[1].site.catalogue_size);
+  EXPECT_NE(spec->vhosts[1].attacks.front().kind,
+            spec->vhosts[0].attacks.front().kind);
+}
+
+// ---------------------------------------------------------------------------
+// Spec codec round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, EveryCatalogEntryRoundTrips) {
+  for (const auto& entry : workload::catalog()) {
+    const auto spec = workload::catalog_entry(entry.name, 0.5);
+    ASSERT_TRUE(spec.has_value());
+    std::string error;
+    const auto reloaded =
+        workload::ScenarioSpec::from_json(spec->to_json(), &error);
+    ASSERT_TRUE(reloaded.has_value()) << entry.name << ": " << error;
+    EXPECT_TRUE(*reloaded == *spec) << entry.name;
+    // load(dump(load(x))) == load(x): dumping is stable, not just loadable.
+    const auto redumped =
+        workload::ScenarioSpec::from_json(reloaded->to_json(), &error);
+    ASSERT_TRUE(redumped.has_value()) << entry.name << ": " << error;
+    EXPECT_TRUE(*redumped == *reloaded) << entry.name;
+  }
+}
+
+TEST(ScenarioSpec, FileRoundTrip) {
+  const auto spec = workload::catalog_entry("flash_crowd", 0.1);
+  ASSERT_TRUE(spec.has_value());
+  const std::string path = ::testing::TempDir() + "workload_spec_rt.json";
+  ASSERT_TRUE(spec->save(path));
+  std::string error;
+  const auto loaded = workload::ScenarioSpec::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(*loaded == *spec);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSpec, ParsesHandWrittenSpecWithDefaults) {
+  const char* json = R"({
+    "schema": "divscrape.scenario.v1",
+    "name": "hand",
+    "start": "2020-06-01",
+    "duration_days": 0.5,
+    "vhosts": [
+      {"attacks": [{"kind": "stealth", "bots": 7}]}
+    ]
+  })";
+  std::string error;
+  const auto spec = workload::ScenarioSpec::from_json(json, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->name, "hand");
+  EXPECT_EQ(spec->start, httplog::Timestamp::from_civil(2020, 6, 1));
+  EXPECT_DOUBLE_EQ(spec->duration_days, 0.5);
+  ASSERT_EQ(spec->vhosts.size(), 1u);
+  EXPECT_EQ(spec->vhosts[0].name, "www");              // defaulted
+  EXPECT_EQ(spec->vhosts[0].site.catalogue_size, 50'000u);  // defaulted
+  ASSERT_EQ(spec->vhosts[0].attacks.size(), 1u);
+  EXPECT_EQ(spec->vhosts[0].attacks[0].kind, workload::AttackKind::kStealth);
+  EXPECT_EQ(spec->vhosts[0].attacks[0].bots, 7);
+}
+
+TEST(ScenarioSpec, RejectsInvalidSpecsWithDiagnostics) {
+  const auto fails = [](const char* json) {
+    std::string error;
+    const auto spec = workload::ScenarioSpec::from_json(json, &error);
+    EXPECT_FALSE(spec.has_value()) << json;
+    EXPECT_FALSE(error.empty()) << json;
+    return error;
+  };
+  fails("not json at all");
+  fails("{}");                                           // no schema
+  fails(R"({"schema": "divscrape.scenario.v2"})");       // wrong schema
+  fails(R"({"schema": "divscrape.scenario.v1"})");       // no vhosts
+  fails(R"({"schema": "divscrape.scenario.v1", "vhosts": []})");
+  fails(R"({"schema": "divscrape.scenario.v1", "duration_days": 0,
+            "vhosts": [{}]})");
+  fails(R"({"schema": "divscrape.scenario.v1", "scale": -1,
+            "vhosts": [{}]})");
+  fails(R"({"schema": "divscrape.scenario.v1", "start": "soon",
+            "vhosts": [{}]})");
+  const auto kind_error = fails(
+      R"({"schema": "divscrape.scenario.v1",
+          "vhosts": [{"attacks": [{"kind": "ddos"}]}]})");
+  EXPECT_NE(kind_error.find("ddos"), std::string::npos);
+}
+
+TEST(ScenarioSpec, AttackKindNamesRoundTrip) {
+  using workload::AttackKind;
+  for (const auto kind :
+       {AttackKind::kFleet, AttackKind::kStealth, AttackKind::kApiPollers,
+        AttackKind::kMalformed, AttackKind::kCaching}) {
+    const auto parsed = workload::attack_kind_from(workload::to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(workload::attack_kind_from("espresso").has_value());
+}
+
+}  // namespace
+}  // namespace divscrape

@@ -1,6 +1,8 @@
 // divscrape — command-line front end to the library.
 //
 //   divscrape generate  [opts]   write a simulated CLF access log to stdout
+//   divscrape simulate  <scenario|spec.json>  run a catalog/spec workload
+//                                through the parallel WorkloadEngine
 //   divscrape analyze   <log>    run the two detectors over a CLF file
 //   divscrape tail      <log>... follow growing CLF file(s) (deployment mode)
 //   divscrape tables    [opts]   regenerate the paper's four tables
@@ -13,6 +15,21 @@
 //   --scale <s>         shorthand for --set scenario.scale=s
 //   --alerts <file>     (analyze) also write a JSONL alert log
 //   --csv <prefix>      (export) also write <prefix>_{totals,pairs,status}.csv
+//
+// Simulate options:
+//   --list              print the scenario catalog and exit
+//   --dump-spec         print the resolved spec JSON and exit (the
+//                       template workflow: dump, edit, simulate the file)
+//   --gen-threads <n>   generator worker threads (output is identical for
+//                       any value — the determinism contract)
+//   --partitions <n>    logical partitions (part of the output contract;
+//                       default 8)
+//   --out <file>        write the merged stream as a CLF log (batched
+//                       writev writer); default without --out/--detect is
+//                       CLF on stdout
+//   --detect            feed the stream to the sentinel+arcane pair and
+//                       print the joint summary
+//   --shards <n>        with --detect: sharded detection on n workers
 //
 // Tail options:
 //   --checkpoint <file>   resume from / persist an ingest checkpoint
@@ -27,6 +44,7 @@
 //   --results <file>      periodically flush JointResults JSON (atomic
 //                         rename; sharded mode writes it once at exit)
 //   --flush-every <n>     flush results/checkpoint every n parsed records
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +52,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,8 +74,11 @@
 #include "pipeline/sharded.hpp"
 #include "pipeline/tailer.hpp"
 #include "traffic/scenario.hpp"
+#include "traffic/stream_writer.hpp"
 #include "util/atomic_file.hpp"
 #include "util/interner.hpp"
+#include "workload/catalog.hpp"
+#include "workload/engine.hpp"
 
 using namespace divscrape;
 
@@ -71,10 +93,16 @@ struct CliOptions {
   std::string checkpoint_path;
   std::string checkpoint_dir;
   std::string results_path;
+  std::string out_path;
   bool follow = false;
+  bool detect = false;
+  bool list = false;
+  bool dump_spec = false;
   int poll_ms = 200;
   int reorder_ms = 2000;
   std::size_t shards = 1;
+  std::size_t gen_threads = 1;
+  std::size_t partitions = 0;  ///< 0 = engine default
   std::uint64_t flush_every = 100000;
   core::KeyValueConfig config;
 };
@@ -82,8 +110,11 @@ struct CliOptions {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: divscrape <generate|analyze|tail|tables|export|label> "
-      "[options]\n"
+      "usage: divscrape "
+      "<generate|simulate|analyze|tail|tables|export|label> [options]\n"
+      "  simulate <scenario|spec.json> [--list] [--dump-spec]\n"
+      "           [--gen-threads <n>] [--partitions <n>]\n"
+      "           [--out <file>] [--detect] [--shards <n>]\n"
       "  --config <file>       load key=value configuration\n"
       "  --set k=v             inline config override (repeatable)\n"
       "  --scale <s>           scenario scale in (0,1]\n"
@@ -168,6 +199,30 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.results_path = path;
     } else if (arg == "--follow") {
       opts.follow = true;
+    } else if (arg == "--detect") {
+      opts.detect = true;
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else if (arg == "--dump-spec") {
+      opts.dump_spec = true;
+    } else if (arg == "--out") {
+      const char* path = next();
+      if (!path) return false;
+      opts.out_path = path;
+    } else if (arg == "--gen-threads") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      const long v = std::strtol(n, &end, 10);
+      if (end == n || *end != '\0' || v < 1 || v > 64) return false;
+      opts.gen_threads = static_cast<std::size_t>(v);
+    } else if (arg == "--partitions") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      const long v = std::strtol(n, &end, 10);
+      if (end == n || *end != '\0' || v < 1 || v > 256) return false;
+      opts.partitions = static_cast<std::size_t>(v);
     } else if (arg == "--poll-ms") {
       const char* n = next();
       if (!n) return false;
@@ -219,6 +274,120 @@ int cmd_generate(const CliOptions& opts) {
   while (scenario.next(record)) writer.write(record);
   std::fprintf(stderr, "generated %llu records\n",
                static_cast<unsigned long long>(writer.lines_written()));
+  return 0;
+}
+
+void print_detector_summary(const core::JointResults& r);
+
+/// Resolves the simulate positional: a catalog name first, then a spec
+/// file. The catalog wins on a name collision (rename the file).
+std::optional<workload::ScenarioSpec> resolve_spec(const CliOptions& opts) {
+  const bool scale_set = opts.config.get("scenario.scale").has_value();
+  const double scale = opts.config.get_double("scenario.scale", 1.0);
+  if (scale_set && scale <= 0.0) {
+    std::fprintf(stderr, "simulate: --scale must be > 0 (got %g)\n", scale);
+    return std::nullopt;
+  }
+  if (auto spec = workload::catalog_entry(opts.input, scale)) return spec;
+  std::string error;
+  auto spec = workload::ScenarioSpec::load(opts.input, &error);
+  if (!spec) {
+    std::fprintf(stderr,
+                 "simulate: \"%s\" is not a catalog scenario, and loading "
+                 "it as a spec file failed: %s\n",
+                 opts.input.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  if (scale_set) spec->scale = scale;  // --scale overrides the file
+  return spec;
+}
+
+int cmd_simulate(const CliOptions& opts) {
+  if (opts.list) {
+    std::printf("scenario catalog:\n");
+    for (const auto& entry : workload::catalog()) {
+      std::printf("  %-20s %s\n", std::string(entry.name).c_str(),
+                  std::string(entry.description).c_str());
+    }
+    return 0;
+  }
+  if (opts.input.empty()) {
+    std::fprintf(stderr,
+                 "simulate: missing <scenario|spec.json> "
+                 "(try: simulate --list)\n");
+    return 2;
+  }
+  auto spec = resolve_spec(opts);
+  if (!spec) return 1;
+  if (opts.dump_spec) {
+    std::printf("%s\n", spec->to_json().c_str());
+    return 0;
+  }
+
+  workload::EngineConfig engine_config;
+  engine_config.gen_threads = opts.gen_threads;
+  if (opts.partitions != 0) engine_config.partitions = opts.partitions;
+  workload::WorkloadEngine engine(std::move(*spec), engine_config);
+
+  // Compose the sink: an optional CLF writer (file, or stdout when neither
+  // --out nor --detect asked for anything else) plus an optional detector
+  // pair (sequential joiner or sharded pipeline). Engine-stamped tokens
+  // are globally consistent, so detectors consume records as-is.
+  std::unique_ptr<traffic::StreamWriter> file_writer;
+  if (!opts.out_path.empty()) {
+    file_writer = std::make_unique<traffic::StreamWriter>(
+        opts.out_path, traffic::StreamWriter::FaultPlan(), 512);
+  }
+  const bool stdout_log = opts.out_path.empty() && !opts.detect;
+  httplog::LogWriter stdout_writer(std::cout);
+
+  std::vector<std::unique_ptr<detectors::Detector>> pool;
+  std::unique_ptr<core::AlertJoiner> joiner;
+  std::unique_ptr<pipeline::ShardedPipeline> sharded;
+  if (opts.detect) {
+    if (opts.shards > 1) {
+      sharded = std::make_unique<pipeline::ShardedPipeline>(
+          [&opts] { return pair_from(opts.config); }, opts.shards);
+    } else {
+      pool = pair_from(opts.config);
+      joiner = std::make_unique<core::AlertJoiner>(pool);
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t records =
+      engine.run([&](httplog::LogRecord&& record) {
+        if (file_writer) file_writer->write(record);
+        if (stdout_log) stdout_writer.write(record);
+        if (joiner) {
+          (void)joiner->process(record);
+        } else if (sharded) {
+          sharded->process(std::move(record));
+        }
+      });
+  if (file_writer) file_writer->flush();
+  std::optional<core::JointResults> sharded_results;
+  if (sharded) sharded_results = sharded->finish();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::fprintf(stderr,
+               "simulated \"%s\" scale %.3g: %s records, %zu vhosts, %zu "
+               "distinct UAs, %zu gen threads x %zu partitions, %.2fs "
+               "(%s records/s)\n",
+               engine.spec().name.c_str(), engine.spec().scale,
+               core::with_thousands(records).c_str(),
+               engine.spec().vhosts.size(), engine.distinct_user_agents(),
+               engine.config().gen_threads, engine.config().partitions, wall,
+               core::with_thousands(static_cast<std::uint64_t>(
+                                        wall > 0.0 ? records / wall : 0))
+                   .c_str());
+  if (joiner) {
+    print_detector_summary(joiner->results());
+  } else if (sharded_results) {
+    print_detector_summary(*sharded_results);
+  }
   return 0;
 }
 
@@ -646,6 +815,7 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (opts.command == "generate") return cmd_generate(opts);
+  if (opts.command == "simulate") return cmd_simulate(opts);
   if (opts.command == "analyze") return cmd_analyze(opts);
   if (opts.command == "tail") return cmd_tail(opts);
   if (opts.command == "tables") return cmd_tables(opts);
