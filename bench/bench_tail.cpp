@@ -27,12 +27,14 @@
 #include "core/export.hpp"
 #include "detectors/registry.hpp"
 #include "httplog/ip.hpp"
+#include "pipeline/checkpoint.hpp"
 #include "pipeline/multi_tailer.hpp"
 #include "pipeline/replay.hpp"
 #include "pipeline/sharded.hpp"
 #include "pipeline/tailer.hpp"
 #include "traffic/stream_writer.hpp"
 #include "util/interner.hpp"
+#include "util/state.hpp"
 
 namespace {
 
@@ -171,6 +173,73 @@ int main(int argc, char** argv) {
     if (!check_identity("tail", tail_results, batch_results)) return 1;
   }
   std::remove(log_path.c_str());
+
+  // Single file with a mid-run kill: tailer and engine are torn down
+  // mid-stream, the detector state travels through the Checkpoint JSON
+  // wire, and a fresh incarnation resumes warm. Wall time covers the
+  // serialize + restore, and the identity gate proves the resumed run's
+  // results byte-identical to batch_replay — the kill-anywhere contract
+  // of pipeline_warm_resume_test, timed.
+  {
+    const std::string warm_log = log_path + ".warm";
+    traffic::Scenario scenario(traffic::amadeus_like(scale));
+    traffic::StreamWriter::FaultPlan plan;
+    plan.tear_every = 97;
+    traffic::StreamWriter writer(warm_log, plan, kWriterBatch);
+    auto pool = detectors::make_paper_pair();
+    auto engine = std::make_unique<pipeline::ReplayEngine>(pool);
+    auto tailer = std::make_unique<pipeline::LogTailer>(warm_log, *engine);
+    std::vector<std::unique_ptr<detectors::Detector>> resumed_pool;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t batches = 0;
+    bool restarted = false;
+    while (writer.pump(scenario, 4096) > 0) {
+      (void)tailer->poll();
+      if (!restarted && ++batches == 32) {
+        restarted = true;
+        pipeline::Checkpoint cp = tailer->checkpoint();
+        util::StateWriter w;
+        if (!engine->save_state(w)) {
+          std::fprintf(stderr, "FAIL: warm_resume cannot serialize state\n");
+          return 1;
+        }
+        cp.state = w.take();
+        const auto saved = pipeline::Checkpoint::from_json(cp.to_json());
+        tailer.reset();
+        engine.reset();  // the kill
+        resumed_pool = detectors::make_paper_pair();
+        engine = std::make_unique<pipeline::ReplayEngine>(resumed_pool);
+        tailer = std::make_unique<pipeline::LogTailer>(warm_log, *engine);
+        if (!saved || !tailer->resume(*saved)) {
+          std::fprintf(stderr, "FAIL: warm_resume offset not honored\n");
+          return 1;
+        }
+        util::StateReader r(saved->state);
+        if (!engine->load_state(r)) {
+          std::fprintf(stderr, "FAIL: warm_resume cannot restore state\n");
+          return 1;
+        }
+      }
+    }
+    (void)tailer->poll();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto cp = tailer->checkpoint();
+    if (cp.parsed != writer.records_written()) {
+      std::fprintf(stderr,
+                   "FAIL: warm_resume tailed %llu of %llu written records\n",
+                   static_cast<unsigned long long>(cp.parsed),
+                   static_cast<unsigned long long>(writer.records_written()));
+      return 1;
+    }
+    runs.push_back({"tail_warm_resume", 0, cp.parsed, wall});
+    if (!check_identity("tail_warm_resume", core::to_json(engine->results()),
+                        batch_results))
+      return 1;
+    std::remove(warm_log.c_str());
+  }
 
   // Four files, merged, sequential consumption.
   {

@@ -7,6 +7,7 @@
 
 #include "httplog/record.hpp"
 #include "stats/intervals.hpp"
+#include "util/state.hpp"
 
 namespace divscrape::core {
 
@@ -35,6 +36,20 @@ struct ConfusionMatrix {
       double z = 1.96) const noexcept;
   [[nodiscard]] stats::ProportionInterval specificity_ci(
       double z = 1.96) const noexcept;
+
+  void save_state(util::StateWriter& w) const {
+    w.u64(tp);
+    w.u64(fp);
+    w.u64(tn);
+    w.u64(fn);
+  }
+  [[nodiscard]] bool load_state(util::StateReader& r) {
+    tp = r.u64();
+    fp = r.u64();
+    tn = r.u64();
+    fn = r.u64();
+    return r.ok();
+  }
 };
 
 }  // namespace divscrape::core

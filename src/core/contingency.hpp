@@ -6,6 +6,7 @@
 #include <string>
 
 #include "stats/association.hpp"
+#include "util/state.hpp"
 
 namespace divscrape::core {
 
@@ -50,6 +51,20 @@ class ContingencyTable {
 
   [[nodiscard]] static AlertCell cell(bool first_alert,
                                       bool second_alert) noexcept;
+
+  void save_state(util::StateWriter& w) const {
+    w.u64(counts_.both);
+    w.u64(counts_.only_first);
+    w.u64(counts_.only_second);
+    w.u64(counts_.neither);
+  }
+  [[nodiscard]] bool load_state(util::StateReader& r) {
+    counts_.both = r.u64();
+    counts_.only_first = r.u64();
+    counts_.only_second = r.u64();
+    counts_.neither = r.u64();
+    return r.ok();
+  }
 
  private:
   stats::PairedCounts counts_;

@@ -116,6 +116,70 @@ void JointResults::merge(const JointResults& other) {
 }
 
 namespace {
+constexpr std::uint32_t kResultsMagic = 0x4A524553u;  // "JRES"
+constexpr std::uint32_t kJoinerMagic = 0x4A4F494Eu;   // "JOIN"
+}  // namespace
+
+void JointResults::save_state(util::StateWriter& w) const {
+  util::put_tag(w, kResultsMagic, 1);
+  w.u32(static_cast<std::uint32_t>(names_.size()));
+  for (const std::string& name : names_) w.str(name);
+  w.u64(total_);
+  w.u64(truth_benign_);
+  w.u64(truth_malicious_);
+  for (const std::uint64_t v : alert_totals_) w.u64(v);
+  for (const ContingencyTable& t : pairs_) t.save_state(w);
+  for (const ContingencyTable& t : fault_pairs_) t.save_state(w);
+  for (const auto& c : alerted_status_) c.save_state(w);
+  for (const auto& c : unique_status_) c.save_state(w);
+  all_status_.save_state(w);
+  for (const ConfusionMatrix& c : confusion_) c.save_state(w);
+  for (const ConfusionMatrix& c : adjudicated_) c.save_state(w);
+  for (const auto& c : reasons_) c.save_state(w);
+  for (const auto& c : unique_reasons_) c.save_state(w);
+}
+
+bool JointResults::load_state(util::StateReader& r) {
+  const auto cold = [this] {
+    *this = JointResults(std::vector<std::string>(names_));
+  };
+  const auto fail = [&] {
+    r.fail();
+    cold();
+    return false;
+  };
+  if (!util::check_tag(r, kResultsMagic, 1)) return fail();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n != names_.size()) return fail();
+  for (const std::string& name : names_) {
+    if (r.str() != name || !r.ok()) return fail();
+  }
+  total_ = r.u64();
+  truth_benign_ = r.u64();
+  truth_malicious_ = r.u64();
+  for (std::uint64_t& v : alert_totals_) v = r.u64();
+  for (ContingencyTable& t : pairs_)
+    if (!t.load_state(r)) return fail();
+  for (ContingencyTable& t : fault_pairs_)
+    if (!t.load_state(r)) return fail();
+  for (auto& c : alerted_status_)
+    if (!c.load_state(r)) return fail();
+  for (auto& c : unique_status_)
+    if (!c.load_state(r)) return fail();
+  if (!all_status_.load_state(r)) return fail();
+  for (ConfusionMatrix& c : confusion_)
+    if (!c.load_state(r)) return fail();
+  for (ConfusionMatrix& c : adjudicated_)
+    if (!c.load_state(r)) return fail();
+  for (auto& c : reasons_)
+    if (!c.load_state(r)) return fail();
+  for (auto& c : unique_reasons_)
+    if (!c.load_state(r)) return fail();
+  if (!r.ok()) return fail();
+  return true;
+}
+
+namespace {
 
 std::vector<std::string> pool_names(
     divscrape::span<detectors::Detector* const> pool) {
@@ -153,6 +217,53 @@ divscrape::span<const detectors::Verdict> AlertJoiner::process(
   }
   results_.observe(record, scratch_);
   return scratch_;
+}
+
+bool AlertJoiner::save_state(util::StateWriter& w) const {
+  // Serialize detectors into scratch blobs first so an unsupported pool
+  // member (a baseline without save_state) leaves `w` untouched.
+  std::vector<std::string> blobs;
+  blobs.reserve(pool_.size());
+  for (const auto* d : pool_) {
+    util::StateWriter blob;
+    if (!d->save_state(blob)) return false;
+    blobs.push_back(blob.take());
+  }
+  util::put_tag(w, kJoinerMagic, 1);
+  w.u32(static_cast<std::uint32_t>(pool_.size()));
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    w.str(pool_[i]->name());
+    w.str(blobs[i]);
+  }
+  results_.save_state(w);
+  return true;
+}
+
+bool AlertJoiner::load_state(util::StateReader& r) {
+  const auto fail = [&] {
+    r.fail();
+    reset();
+    return false;
+  };
+  if (!util::check_tag(r, kJoinerMagic, 1)) return fail();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n != pool_.size()) return fail();
+  for (auto* d : pool_) {
+    const std::string_view name = r.str();
+    const std::string_view blob = r.str();
+    if (!r.ok() || name != d->name()) return fail();
+    util::StateReader sub(blob);
+    // Each detector must accept its blob and consume it exactly; leftover
+    // bytes mean a format drift the version tag did not catch.
+    if (!d->load_state(sub) || !sub.ok() || !sub.at_end()) return fail();
+  }
+  if (!results_.load_state(r)) return fail();
+  return true;
+}
+
+void AlertJoiner::reset() {
+  for (auto* d : pool_) d->reset();
+  results_ = JointResults(results_.names());
 }
 
 }  // namespace divscrape::core

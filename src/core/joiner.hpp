@@ -97,6 +97,12 @@ class JointResults {
   /// Merges a shard's results (same pool order required).
   void merge(const JointResults& other);
 
+  /// Dump/restore of every accumulated counter (warm checkpointing). Load
+  /// validates the blob's detector-name vector against this instance's pool
+  /// order and fails — leaving the results zeroed — on any mismatch.
+  void save_state(util::StateWriter& w) const;
+  [[nodiscard]] bool load_state(util::StateReader& r);
+
  private:
   [[nodiscard]] std::size_t pair_index(std::size_t i, std::size_t j) const;
 
@@ -133,6 +139,16 @@ class AlertJoiner {
   [[nodiscard]] const JointResults& results() const noexcept {
     return results_;
   }
+
+  /// Dumps the joiner's warm state: each pool detector's state (by name,
+  /// length-prefixed) plus the accumulated results. Returns false without
+  /// writing anything if any pool member does not support serialization.
+  [[nodiscard]] bool save_state(util::StateWriter& w) const;
+  /// Restores from save_state() output. On a name/count mismatch or a
+  /// corrupted blob the joiner is reset cold and false is returned.
+  [[nodiscard]] bool load_state(util::StateReader& r);
+  /// Fresh deployment: resets every pool detector and zeroes the results.
+  void reset();
 
  private:
   std::vector<detectors::Detector*> pool_;

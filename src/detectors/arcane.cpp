@@ -1,6 +1,8 @@
 #include "detectors/arcane.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "httplog/url.hpp"
 #include "httplog/useragent.hpp"
@@ -42,6 +44,166 @@ void ArcaneDetector::maybe_sweep(Timestamp now) {
   for (auto it = clients_.begin(); it != clients_.end();) {
     it = it->second.last_seen < cutoff ? clients_.erase(it) : std::next(it);
   }
+}
+
+namespace {
+
+constexpr std::uint32_t kArcaneMagic = 0x4152434Eu;  // "ARCN"
+
+void put_config(util::StateWriter& w, const ArcaneConfig& c) {
+  w.f64(c.window_s);
+  w.i64(c.min_requests);
+  w.f64(c.alert_threshold);
+  w.f64(c.w_asset_starvation);
+  w.f64(c.w_scripted_ua);
+  w.f64(c.w_template_monotony);
+  w.f64(c.w_no_referer);
+  w.f64(c.w_error_ratio);
+  w.f64(c.w_no_content_ratio);
+  w.f64(c.w_not_modified_ratio);
+  w.f64(c.w_volume_extreme);
+  w.f64(c.w_volume_high);
+  w.f64(c.w_volume_medium);
+  w.i64(c.volume_extreme);
+  w.i64(c.volume_high);
+  w.i64(c.volume_medium);
+  w.f64(c.error_ratio_min);
+  w.f64(c.no_content_ratio_min);
+  w.f64(c.not_modified_ratio_min);
+  w.f64(c.referer_ratio_max);
+  w.i64(c.template_monotony_max);
+  w.i64(c.declared_bot_grace);
+}
+
+[[nodiscard]] bool config_matches(util::StateReader& r,
+                                  const ArcaneConfig& c) {
+  bool same = r.f64() == c.window_s;
+  same &= r.i64() == c.min_requests;
+  same &= r.f64() == c.alert_threshold;
+  same &= r.f64() == c.w_asset_starvation;
+  same &= r.f64() == c.w_scripted_ua;
+  same &= r.f64() == c.w_template_monotony;
+  same &= r.f64() == c.w_no_referer;
+  same &= r.f64() == c.w_error_ratio;
+  same &= r.f64() == c.w_no_content_ratio;
+  same &= r.f64() == c.w_not_modified_ratio;
+  same &= r.f64() == c.w_volume_extreme;
+  same &= r.f64() == c.w_volume_high;
+  same &= r.f64() == c.w_volume_medium;
+  same &= r.i64() == c.volume_extreme;
+  same &= r.i64() == c.volume_high;
+  same &= r.i64() == c.volume_medium;
+  same &= r.f64() == c.error_ratio_min;
+  same &= r.f64() == c.no_content_ratio_min;
+  same &= r.f64() == c.not_modified_ratio_min;
+  same &= r.f64() == c.referer_ratio_max;
+  same &= r.i64() == c.template_monotony_max;
+  same &= r.i64() == c.declared_bot_grace;
+  return same && r.ok();
+}
+
+}  // namespace
+
+bool ArcaneDetector::save_state(util::StateWriter& w) const {
+  util::put_tag(w, kArcaneMagic, 1);
+  put_config(w, config_);
+  w.u64(evaluations_);
+  local_uas_.save_state(w);
+  paths_.save_state(w);
+
+  std::vector<std::pair<httplog::SessionKey, const ClientState*>> clients;
+  clients.reserve(clients_.size());
+  for (const auto& [key, state] : clients_) clients.emplace_back(key, &state);
+  std::sort(clients.begin(), clients.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(clients.size());
+  for (const auto& [key, state] : clients) {
+    w.u32(key.ip.value());
+    w.u32(key.ua_token);
+    w.u64(state->window.size());
+    for (const Entry& e : state->window) {
+      w.i64(e.time.micros());
+      w.u32(e.template_token);
+      w.u8(static_cast<std::uint8_t>(e.asset | (e.referer << 1) |
+                                     (e.error_4xx << 2) |
+                                     (e.no_content << 3) |
+                                     (e.not_modified << 4)));
+    }
+    w.i64(state->assets);
+    w.i64(state->referers);
+    w.i64(state->errors_4xx);
+    w.i64(state->no_content);
+    w.i64(state->not_modified);
+    std::vector<std::pair<std::uint32_t, int>> templates(
+        state->templates.begin(), state->templates.end());
+    std::sort(templates.begin(), templates.end());
+    w.u64(templates.size());
+    for (const auto& [token, count] : templates) {
+      w.u32(token);
+      w.i64(count);
+    }
+    w.i64(state->last_seen.micros());
+    w.u8(static_cast<std::uint8_t>(state->scripted |
+                                   (state->declared_bot << 1) |
+                                   (state->browser << 2) |
+                                   (state->ua_classified << 3)));
+  }
+  return true;
+}
+
+bool ArcaneDetector::load_state(util::StateReader& r) {
+  reset();
+  const auto fail = [&] {
+    r.fail();
+    reset();
+    return false;
+  };
+  if (!util::check_tag(r, kArcaneMagic, 1)) return false;
+  if (!config_matches(r, config_)) return fail();
+  evaluations_ = r.u64();
+  if (!local_uas_.load_state(r)) return fail();
+  if (!paths_.load_state(r)) return fail();
+
+  const std::uint64_t client_count = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < client_count; ++i) {
+    const httplog::Ipv4 ip{r.u32()};
+    const std::uint32_t ua_token = r.u32();
+    ClientState state;
+    const std::uint64_t entries = r.u64();
+    if (!r.ok()) break;
+    for (std::uint64_t j = 0; r.ok() && j < entries; ++j) {
+      Entry e;
+      e.time = Timestamp{r.i64()};
+      e.template_token = r.u32();
+      const std::uint8_t bits = r.u8();
+      e.asset = (bits & 1) != 0;
+      e.referer = (bits & 2) != 0;
+      e.error_4xx = (bits & 4) != 0;
+      e.no_content = (bits & 8) != 0;
+      e.not_modified = (bits & 16) != 0;
+      state.window.push_back(e);
+    }
+    state.assets = static_cast<int>(r.i64());
+    state.referers = static_cast<int>(r.i64());
+    state.errors_4xx = static_cast<int>(r.i64());
+    state.no_content = static_cast<int>(r.i64());
+    state.not_modified = static_cast<int>(r.i64());
+    const std::uint64_t template_count = r.u64();
+    for (std::uint64_t j = 0; r.ok() && j < template_count; ++j) {
+      const std::uint32_t token = r.u32();
+      state.templates[token] = static_cast<int>(r.i64());
+    }
+    state.last_seen = Timestamp{r.i64()};
+    const std::uint8_t ua_bits = r.u8();
+    state.scripted = (ua_bits & 1) != 0;
+    state.declared_bot = (ua_bits & 2) != 0;
+    state.browser = (ua_bits & 4) != 0;
+    state.ua_classified = (ua_bits & 8) != 0;
+    if (r.ok())
+      clients_.emplace(httplog::SessionKey{ip, ua_token}, std::move(state));
+  }
+  if (!r.ok()) return fail();
+  return true;
 }
 
 Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {

@@ -76,6 +76,13 @@ class ArcaneDetector final : public Detector {
   [[nodiscard]] Verdict evaluate(const httplog::LogRecord& record) override;
   void reset() override;
 
+  /// Warm-checkpoint dump/restore: every live behavioural window (sorted by
+  /// session key), the path-template memo (live entries reference its
+  /// tokens, so it transfers in full), the local UA interner, and the sweep
+  /// counter. A config fingerprint guards mistuned restores.
+  [[nodiscard]] bool save_state(util::StateWriter& w) const override;
+  [[nodiscard]] bool load_state(util::StateReader& r) override;
+
   [[nodiscard]] const ArcaneConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t tracked_clients() const noexcept {
     return clients_.size();

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "httplog/record.hpp"
+#include "util/state.hpp"
 
 namespace divscrape::detectors {
 
@@ -60,6 +61,22 @@ class Detector {
 
   /// Drops all accumulated state (fresh deployment).
   virtual void reset() = 0;
+
+  /// Dumps the detector's warm state for checkpointing. The default says
+  /// "not supported" (false, nothing written): a pool containing such a
+  /// detector cannot be checkpointed warm and falls back to cold resume.
+  /// Restore assumes an identically-configured instance; implementations
+  /// embed a config fingerprint and fail the load on a mismatch.
+  [[nodiscard]] virtual bool save_state(util::StateWriter& w) const {
+    (void)w;
+    return false;
+  }
+  /// Restores from save_state() output; on failure the detector must be
+  /// left reset (cold) and return false.
+  [[nodiscard]] virtual bool load_state(util::StateReader& r) {
+    (void)r;
+    return false;
+  }
 
  protected:
   Detector() = default;

@@ -1,6 +1,8 @@
 #include "detectors/learned.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "ml/features.hpp"
 
@@ -25,6 +27,58 @@ void LearnedDetector::maybe_sweep(httplog::Timestamp now) {
     it = it->second.last_seen() < cutoff ? clients_.erase(it)
                                          : std::next(it);
   }
+}
+
+namespace {
+constexpr std::uint32_t kLearnedMagic = 0x4C524E44u;  // "LRND"
+}  // namespace
+
+bool LearnedDetector::save_state(util::StateWriter& w) const {
+  util::put_tag(w, kLearnedMagic, 1);
+  w.str(name_);
+  w.f64(config_.idle_reset_s);
+  w.i64(config_.warmup_requests);
+  w.f64(config_.threshold);
+  w.u64(evaluations_);
+  local_uas_.save_state(w);
+
+  std::vector<const httplog::Session*> sessions;
+  sessions.reserve(clients_.size());
+  for (const auto& [key, session] : clients_) sessions.push_back(&session);
+  std::sort(sessions.begin(), sessions.end(),
+            [](const httplog::Session* a, const httplog::Session* b) {
+              return a->key() < b->key();
+            });
+  w.u64(sessions.size());
+  for (const httplog::Session* s : sessions) s->save_state(w);
+  return true;
+}
+
+bool LearnedDetector::load_state(util::StateReader& r) {
+  reset();
+  const auto fail = [&] {
+    r.fail();
+    reset();
+    return false;
+  };
+  if (!util::check_tag(r, kLearnedMagic, 1)) return false;
+  if (r.str() != name_) return fail();
+  bool same = r.f64() == config_.idle_reset_s;
+  same &= r.i64() == config_.warmup_requests;
+  same &= r.f64() == config_.threshold;
+  if (!same || !r.ok()) return fail();
+  evaluations_ = r.u64();
+  if (!local_uas_.load_state(r)) return fail();
+
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < count; ++i) {
+    auto session = httplog::Session::load_state(r);
+    if (!session) return fail();
+    const httplog::SessionKey key = session->key();
+    clients_.emplace(key, std::move(*session));
+  }
+  if (!r.ok()) return fail();
+  return true;
 }
 
 Verdict LearnedDetector::evaluate(const httplog::LogRecord& record) {

@@ -43,6 +43,14 @@ class LearnedDetector final : public Detector {
   [[nodiscard]] Verdict evaluate(const httplog::LogRecord& record) override;
   void reset() override;
 
+  /// Warm-checkpoint dump/restore: every live per-client Session (sorted by
+  /// key), the local UA interner, and the sweep counter. The frozen model
+  /// is construction-provided and NOT serialized — restore into an instance
+  /// built with the same trained classifier. The detector name and config
+  /// are fingerprinted and must match.
+  [[nodiscard]] bool save_state(util::StateWriter& w) const override;
+  [[nodiscard]] bool load_state(util::StateReader& r) override;
+
  private:
   void maybe_sweep(httplog::Timestamp now);
 

@@ -94,6 +94,114 @@ void SentinelDetector::maybe_sweep(Timestamp now) {
   }
 }
 
+namespace {
+
+constexpr std::uint32_t kSentinelMagic = 0x534E544Cu;  // "SNTL"
+
+void put_config(util::StateWriter& w, const SentinelConfig& c) {
+  w.f64(c.burst_window_s);
+  w.i64(c.burst_limit);
+  w.f64(c.sustained_window_s);
+  w.i64(c.sustained_limit);
+  w.f64(c.reputation_ttl_s);
+  w.i64(c.subnet_flag_threshold);
+  w.i64(c.stale_fingerprint_min_rate);
+  w.boolean(c.enable_reputation);
+  w.boolean(c.enable_subnet_escalation);
+  w.boolean(c.enable_fingerprinting);
+}
+
+[[nodiscard]] bool config_matches(util::StateReader& r,
+                                  const SentinelConfig& c) {
+  bool same = r.f64() == c.burst_window_s;
+  same &= r.i64() == c.burst_limit;
+  same &= r.f64() == c.sustained_window_s;
+  same &= r.i64() == c.sustained_limit;
+  same &= r.f64() == c.reputation_ttl_s;
+  same &= r.i64() == c.subnet_flag_threshold;
+  same &= r.i64() == c.stale_fingerprint_min_rate;
+  same &= r.boolean() == c.enable_reputation;
+  same &= r.boolean() == c.enable_subnet_escalation;
+  same &= r.boolean() == c.enable_fingerprinting;
+  return same && r.ok();
+}
+
+}  // namespace
+
+bool SentinelDetector::save_state(util::StateWriter& w) const {
+  util::put_tag(w, kSentinelMagic, 1);
+  put_config(w, config_);
+  w.u64(evaluations_);
+  w.i64(now_.micros());
+  local_uas_.save_state(w);
+
+  std::vector<std::pair<httplog::Ipv4, const IpState*>> ips;
+  ips.reserve(ips_.size());
+  for (const auto& [ip, state] : ips_) ips.emplace_back(ip, &state);
+  std::sort(ips.begin(), ips.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(ips.size());
+  for (const auto& [ip, state] : ips) {
+    w.u32(ip.value());
+    w.u64(state->recent.size());
+    for (const Timestamp t : state->recent) w.i64(t.micros());
+    w.i64(state->flagged_until.micros());
+    w.boolean(state->counted_in_subnet);
+    w.i64(state->last_seen.micros());
+  }
+
+  std::vector<std::pair<httplog::Ipv4, SubnetState>> subnets(
+      subnets_.begin(), subnets_.end());
+  std::sort(subnets.begin(), subnets.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(subnets.size());
+  for (const auto& [net, state] : subnets) {
+    w.u32(net.value());
+    w.i64(state.violator_ips);
+    w.i64(state.flagged_until.micros());
+  }
+  return true;
+}
+
+bool SentinelDetector::load_state(util::StateReader& r) {
+  reset();
+  const auto fail = [&] {
+    r.fail();
+    reset();
+    return false;
+  };
+  if (!util::check_tag(r, kSentinelMagic, 1)) return false;
+  if (!config_matches(r, config_)) return fail();
+  evaluations_ = r.u64();
+  now_ = Timestamp{r.i64()};
+  if (!local_uas_.load_state(r)) return fail();
+
+  const std::uint64_t ip_count = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < ip_count; ++i) {
+    const httplog::Ipv4 ip{r.u32()};
+    IpState state;
+    const std::uint64_t recent = r.u64();
+    if (!r.ok()) break;
+    for (std::uint64_t j = 0; r.ok() && j < recent; ++j)
+      state.recent.push_back(Timestamp{r.i64()});
+    state.flagged_until = Timestamp{r.i64()};
+    state.counted_in_subnet = r.boolean();
+    state.last_seen = Timestamp{r.i64()};
+    if (r.ok()) ips_.emplace(ip, std::move(state));
+  }
+
+  const std::uint64_t subnet_count = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < subnet_count; ++i) {
+    const httplog::Ipv4 net{r.u32()};
+    SubnetState state;
+    state.violator_ips = static_cast<int>(r.i64());
+    state.flagged_until = Timestamp{r.i64()};
+    if (r.ok()) subnets_.emplace(net, state);
+  }
+  if (!r.ok()) return fail();
+  return true;
+}
+
 Verdict SentinelDetector::evaluate(const httplog::LogRecord& record) {
   const Timestamp now = record.time;
   now_ = now;

@@ -65,6 +65,14 @@ class SentinelDetector final : public Detector {
   [[nodiscard]] Verdict evaluate(const httplog::LogRecord& record) override;
   void reset() override;
 
+  /// Warm-checkpoint dump/restore: the reputation maps (sorted for
+  /// deterministic bytes), the local UA interner, and the sweep counters.
+  /// The UA classification caches are recomputable memos and are NOT
+  /// serialized. A config fingerprint guards restores into a differently
+  /// tuned instance.
+  [[nodiscard]] bool save_state(util::StateWriter& w) const override;
+  [[nodiscard]] bool load_state(util::StateReader& r) override;
+
   [[nodiscard]] const SentinelConfig& config() const noexcept {
     return config_;
   }

@@ -143,6 +143,101 @@ void Sessionizer::flush_all() {
   emit_sorted(std::move(remaining));
 }
 
+namespace {
+constexpr std::uint32_t kSessionMagic = 0x53455353u;      // "SESS"
+constexpr std::uint32_t kSessionizerMagic = 0x53534E5Au;  // "SSNZ"
+}  // namespace
+
+void Session::save_state(util::StateWriter& w) const {
+  util::put_tag(w, kSessionMagic, 1);
+  w.u32(key_.ip.value());
+  w.u32(key_.ua_token);
+  w.str(ua_);
+  w.u64(count_);
+  w.i64(first_.micros());
+  w.i64(last_.micros());
+  interarrival_.save_state(w);
+  w.u64(assets_);
+  w.u64(with_referer_);
+  w.u64(errors_4xx_);
+  w.u64(heads_);
+  w.boolean(robots_);
+  paths_.save_state(w);
+  templates_.save_state(w);
+  status_.save_state(w);
+  w.u64(malicious_);
+  w.u64(benign_);
+}
+
+std::optional<Session> Session::load_state(util::StateReader& r) {
+  if (!util::check_tag(r, kSessionMagic, 1)) return std::nullopt;
+  const Ipv4 ip{r.u32()};
+  const std::uint32_t ua_token = r.u32();
+  Session s(SessionKey{ip, ua_token}, Timestamp{0});
+  s.ua_ = std::string(r.str());
+  s.count_ = r.u64();
+  s.first_ = Timestamp{r.i64()};
+  s.last_ = Timestamp{r.i64()};
+  if (!s.interarrival_.load_state(r)) return std::nullopt;
+  s.assets_ = r.u64();
+  s.with_referer_ = r.u64();
+  s.errors_4xx_ = r.u64();
+  s.heads_ = r.u64();
+  s.robots_ = r.boolean();
+  if (!s.paths_.load_state(r)) return std::nullopt;
+  if (!s.templates_.load_state(r)) return std::nullopt;
+  if (!s.status_.load_state(r)) return std::nullopt;
+  s.malicious_ = r.u64();
+  s.benign_ = r.u64();
+  if (!r.ok()) return std::nullopt;
+  if (s.count_ > 0) s.ua_info_ = classify_user_agent(s.ua_);
+  return s;
+}
+
+void Sessionizer::save_state(util::StateWriter& w) const {
+  util::put_tag(w, kSessionizerMagic, 1);
+  local_uas_.save_state(w);
+  w.u64(completed_);
+  w.i64(last_sweep_.micros());
+  std::vector<const Session*> open;
+  open.reserve(open_.size());
+  for (const auto& [key, session] : open_) open.push_back(&session);
+  std::sort(open.begin(), open.end(), [](const Session* a, const Session* b) {
+    return a->key() < b->key();
+  });
+  w.u64(open.size());
+  for (const Session* s : open) s->save_state(w);
+}
+
+bool Sessionizer::load_state(util::StateReader& r) {
+  const auto cold = [this] {
+    local_uas_.clear();
+    open_.clear();
+    completed_ = 0;
+    last_sweep_ = Timestamp{0};
+  };
+  cold();
+  if (!util::check_tag(r, kSessionizerMagic, 1)) return false;
+  if (!local_uas_.load_state(r)) return false;
+  completed_ = r.u64();
+  last_sweep_ = Timestamp{r.i64()};
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto session = Session::load_state(r);
+    if (!session) {
+      cold();
+      return false;
+    }
+    const SessionKey key = session->key();
+    open_.emplace(key, std::move(*session));
+  }
+  if (!r.ok()) {
+    cold();
+    return false;
+  }
+  return true;
+}
+
 std::vector<Session> sessionize(const std::vector<LogRecord>& records,
                                 double idle_timeout_s) {
   std::vector<Session> out;

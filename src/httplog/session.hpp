@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -141,6 +142,13 @@ class Session {
   /// Majority truth of member records (simulation metadata).
   [[nodiscard]] Truth majority_truth() const noexcept;
 
+  /// Dump of every aggregate (warm checkpointing). The UA classification is
+  /// recomputed from the stored UA string on load, not serialized.
+  void save_state(util::StateWriter& w) const;
+  /// Restores a session from save_state() output; nullopt on a malformed
+  /// blob (Session has no default construction, hence the factory form).
+  [[nodiscard]] static std::optional<Session> load_state(util::StateReader& r);
+
  private:
   SessionKey key_;
   std::string ua_;  ///< captured from the first record
@@ -197,6 +205,15 @@ class Sessionizer {
   [[nodiscard]] std::uint64_t completed_sessions() const noexcept {
     return completed_;
   }
+
+  /// Dump of the sessionizer's warm state: the local UA interner, every
+  /// open session window (sorted by key for deterministic bytes), the
+  /// completed count, and the sweep clock. Timeout and sink stay
+  /// construction-time config.
+  void save_state(util::StateWriter& w) const;
+  /// Restores from save_state() output. Returns false — with the
+  /// sessionizer reset to cold/empty — on a malformed blob.
+  [[nodiscard]] bool load_state(util::StateReader& r);
 
  private:
   void expire_older_than(Timestamp cutoff);

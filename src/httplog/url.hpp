@@ -120,6 +120,31 @@ class PathTemplateMemo {
     distinct_paths_ = 0;
   }
 
+  /// Dump/restore of the memo (strings in token order + the path→template
+  /// mapping). `max_strings_` is construction-time config and is NOT
+  /// serialized — restore into an identically-configured instance.
+  void save_state(util::StateWriter& w) const {
+    ids_.save_state(w);
+    w.u64(template_of_path_.size());
+    for (const std::uint32_t tok : template_of_path_) w.u32(tok);
+    w.u64(distinct_paths_);
+  }
+  [[nodiscard]] bool load_state(util::StateReader& r) {
+    clear();
+    if (!ids_.load_state(r)) return false;
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > ids_.size()) {
+      r.fail();
+      clear();
+      return false;
+    }
+    template_of_path_.resize(static_cast<std::size_t>(n));
+    for (std::uint32_t& tok : template_of_path_) tok = r.u32();
+    distinct_paths_ = static_cast<std::size_t>(r.u64());
+    if (!r.ok()) clear();
+    return r.ok();
+  }
+
  private:
   [[nodiscard]] bool has_room() const noexcept {
     return max_strings_ == 0 || ids_.size() < max_strings_;

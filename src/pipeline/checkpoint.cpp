@@ -5,20 +5,25 @@
 #include <sstream>
 
 #include "core/json.hpp"
+#include "core/json_parse.hpp"
 #include "util/atomic_file.hpp"
+#include "util/state.hpp"
 
 namespace divscrape::pipeline {
 
 namespace {
 
-constexpr std::string_view kSchema = "divscrape.checkpoint.v2";
-// v1 lacked sig_len/sig_hash/lost_incarnations; still loadable (they
-// default to 0 = unknown, so resume just skips the signature check).
+constexpr std::string_view kSchema = "divscrape.checkpoint.v3";
+// v2 lacked the detection-state blob; v1 additionally lacked sig_len/
+// sig_hash/lost_incarnations. Both still load (see the compat matrix in
+// the header): missing fields default to 0 / empty = cold detection.
+constexpr std::string_view kSchemaV2 = "divscrape.checkpoint.v2";
 constexpr std::string_view kSchemaV1 = "divscrape.checkpoint.v1";
 
+constexpr std::string_view kSessionSchema = "divscrape.tail_session.v3";
+
 // Finds `"key":` in a flat JSON object and parses the following bare
-// unsigned number (the only value type this schema uses besides the schema
-// string itself).
+// unsigned number.
 std::optional<std::uint64_t> find_u64(std::string_view json,
                                       std::string_view key) {
   const std::string needle = "\"" + std::string(key) + "\":";
@@ -32,6 +37,52 @@ std::optional<std::uint64_t> find_u64(std::string_view json,
   return value;
 }
 
+// Finds `"key":"..."` in a flat JSON object. Only safe for values with no
+// escapes — base64 qualifies (its alphabet holds no '"' or '\\').
+std::optional<std::string_view> find_str(std::string_view json,
+                                         std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const auto pos = json.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const auto begin = pos + needle.size();
+  const auto close = json.find('"', begin);
+  if (close == std::string_view::npos) return std::nullopt;
+  return json.substr(begin, close - begin);
+}
+
+// The checkpoint's scalar fields, written into an already-open object —
+// shared between the standalone serialization and the per-log embeddings
+// inside a TailSessionState.
+void write_fields(core::JsonWriter& json, const Checkpoint& cp) {
+  json.key("inode").value(cp.inode);
+  json.key("offset").value(cp.offset);
+  json.key("sig_len").value(cp.sig_len);
+  json.key("sig_hash").value(cp.sig_hash);
+  json.key("lines").value(cp.lines);
+  json.key("parsed").value(cp.parsed);
+  json.key("skipped").value(cp.skipped);
+  json.key("rotations").value(cp.rotations);
+  json.key("truncations").value(cp.truncations);
+  json.key("lost_incarnations").value(cp.lost_incarnations);
+}
+
+// Reads the scalar fields back from a parsed DOM object (TailSessionState
+// embeddings; the standalone path keeps the flat scanner for v1/v2 files).
+Checkpoint checkpoint_from_dom(const core::JsonValue& obj) {
+  Checkpoint cp;
+  cp.inode = obj.u64_or("inode", 0);
+  cp.offset = obj.u64_or("offset", 0);
+  cp.sig_len = obj.u64_or("sig_len", 0);
+  cp.sig_hash = obj.u64_or("sig_hash", 0);
+  cp.lines = obj.u64_or("lines", 0);
+  cp.parsed = obj.u64_or("parsed", 0);
+  cp.skipped = obj.u64_or("skipped", 0);
+  cp.rotations = obj.u64_or("rotations", 0);
+  cp.truncations = obj.u64_or("truncations", 0);
+  cp.lost_incarnations = obj.u64_or("lost_incarnations", 0);
+  return cp;
+}
+
 }  // namespace
 
 std::string Checkpoint::to_json() const {
@@ -39,16 +90,8 @@ std::string Checkpoint::to_json() const {
   core::JsonWriter json(os);
   json.begin_object();
   json.key("schema").value(kSchema);
-  json.key("inode").value(inode);
-  json.key("offset").value(offset);
-  json.key("sig_len").value(sig_len);
-  json.key("sig_hash").value(sig_hash);
-  json.key("lines").value(lines);
-  json.key("parsed").value(parsed);
-  json.key("skipped").value(skipped);
-  json.key("rotations").value(rotations);
-  json.key("truncations").value(truncations);
-  json.key("lost_incarnations").value(lost_incarnations);
+  write_fields(json, *this);
+  json.key("state_b64").value(util::base64_encode(state));
   json.end_object();
   return os.str();
 }
@@ -58,7 +101,8 @@ std::optional<Checkpoint> Checkpoint::from_json(std::string_view json) {
     return json.find("\"schema\":\"" + std::string(schema) + "\"") !=
            std::string_view::npos;
   };
-  const bool v2 = has_schema(kSchema);
+  const bool v3 = has_schema(kSchema);
+  const bool v2 = v3 || has_schema(kSchemaV2);
   if (!v2 && !has_schema(kSchemaV1)) return std::nullopt;
   Checkpoint cp;
   const auto inode = find_u64(json, "inode");
@@ -87,6 +131,13 @@ std::optional<Checkpoint> Checkpoint::from_json(std::string_view json) {
     cp.sig_hash = *sig_hash;
     cp.lost_incarnations = *lost;
   }
+  if (v3) {
+    // A missing or undecodable blob degrades to a cold (but valid) resume:
+    // the ingest offset must survive state-blob damage.
+    if (const auto b64 = find_str(json, "state_b64")) {
+      if (auto bytes = util::base64_decode(*b64)) cp.state = std::move(*bytes);
+    }
+  }
   return cp;
 }
 
@@ -95,6 +146,57 @@ bool Checkpoint::save(const std::string& path) const {
 }
 
 std::optional<Checkpoint> Checkpoint::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream text;
+  text << in.rdbuf();
+  return from_json(text.str());
+}
+
+std::string TailSessionState::to_json() const {
+  std::ostringstream os;
+  core::JsonWriter json(os);
+  json.begin_object();
+  json.key("schema").value(kSessionSchema);
+  json.key("logs").begin_array();
+  for (const auto& [path, cp] : logs) {
+    json.begin_object();
+    json.key("path").value(path);
+    write_fields(json, cp);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("state_b64").value(util::base64_encode(state));
+  json.end_object();
+  return os.str();
+}
+
+std::optional<TailSessionState> TailSessionState::from_json(
+    std::string_view json) {
+  const auto doc = core::parse_json(json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  if (doc->string_or("schema", "") != kSessionSchema) return std::nullopt;
+  const core::JsonValue* logs = doc->find("logs");
+  if (!logs || !logs->is_array()) return std::nullopt;
+  TailSessionState session;
+  for (const core::JsonValue& entry : logs->array()) {
+    if (!entry.is_object()) return std::nullopt;
+    std::string path = entry.string_or("path", "");
+    if (path.empty()) return std::nullopt;
+    session.logs.emplace_back(std::move(path), checkpoint_from_dom(entry));
+  }
+  const auto bytes = util::base64_decode(doc->string_or("state_b64", ""));
+  if (!bytes) return std::nullopt;
+  session.state = std::move(*bytes);
+  return session;
+}
+
+bool TailSessionState::save(const std::string& path) const {
+  return util::write_file_atomic(path, to_json() + "\n");
+}
+
+std::optional<TailSessionState> TailSessionState::load(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::stringstream text;

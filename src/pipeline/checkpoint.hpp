@@ -1,13 +1,16 @@
 // Resume checkpoints for live log tailing.
 //
-// A checkpoint records where ingest stopped: which file incarnation was
-// being read (inode), the committed byte offset inside it, and the
-// cumulative framing/parsing accounting at that point. It is serialized as
-// a single flat JSON object so operators can inspect it with standard
-// tools, and saved atomically (write temp + rename) so a crash mid-save
-// leaves the previous checkpoint intact.
+// A checkpoint records where ingest stopped — which file incarnation was
+// being read (inode), the committed byte offset inside it, the cumulative
+// framing/parsing accounting — and, since schema v3, the *detection state*
+// at that offset: every detector's per-client state, the stamping interner
+// token tables, and the accumulated JointResults, serialized as one binary
+// blob (util/state.hpp) and embedded base64 in the same flat JSON object.
+// Offset and state commit in a single util::write_file_atomic call, so they
+// can never be observed torn apart: a crash mid-save leaves the previous
+// (offset, state) pair intact as a unit.
 //
-// ## Resume contract (at-least-once vs exactly-once)
+// ## Resume contract
 //
 // *Ingest is exactly-once.* The committed offset only ever points at a
 // line boundary: bytes buffered as an unterminated partial line are NOT
@@ -17,21 +20,43 @@
 // no record is ever re-ingested and none is skipped. The `lines`/`parsed`/
 // `skipped` counters therefore continue exactly where they left off.
 //
-// *Detection is not checkpointed.* Detector state (reputation, sliding
-// behavioural windows) and the accumulated JointResults restart cold on
-// resume — serializing every detector's internal state is explicitly out
-// of scope, matching how the paper's tools behaved across restarts.
-// Verdicts on records near the resume point may consequently differ from
-// an uninterrupted run (warm-up effects), even though the record stream
-// itself is delivered exactly once. Callers who need joined results across
-// restarts must persist `JointResults` flushes separately (the CLI's
-// `tail --results` does).
+// *Detection is warm when the state blob restores.* A v3 checkpoint whose
+// blob loads cleanly resumes every session window, reputation entry and
+// result counter mid-flight: the resumed run's JointResults are
+// byte-identical to an uninterrupted run (proven by
+// tests/pipeline_warm_resume_test.cpp, at kill points including mid-torn-
+// write and straddling a rotation).
+//
+// *What stays cold even on a warm resume:*
+//   - the pacing anchor (a resumed live tail re-anchors wall-clock pacing
+//     at its first record; irrelevant for as-fast-as-possible replay);
+//   - recomputable memo caches (Sentinel's UA-classification caches) —
+//     excluded from the blob by design, they repopulate on demand with
+//     identical contents;
+//   - everything, when the blob is absent, truncated, or carries a
+//     mismatched component version or config fingerprint: the loader
+//     rejects the blob, the caller counts a warning, and detection
+//     restarts cold — the pre-v3 behaviour, never a crash.
+//
+// ## Compat matrix
+//
+//   schema                   | loads? | offset resume | detection resume
+//   -------------------------|--------|---------------|------------------
+//   divscrape.checkpoint.v1  |  yes   | yes (no sig)  | cold
+//   divscrape.checkpoint.v2  |  yes   | yes           | cold
+//   divscrape.checkpoint.v3  |  yes   | yes           | warm (cold on a
+//                            |        |               | rejected blob)
+//
+// v1 lacked sig_len/sig_hash/lost_incarnations (default 0 = "unknown", so
+// resume skips the prefix-signature check); v2 lacked the state blob.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace divscrape::pipeline {
 
@@ -64,11 +89,19 @@ struct Checkpoint {
   /// lost to a double rotation between polls (see tailer.hpp).
   std::uint64_t lost_incarnations = 0;
 
-  /// Serializes as one flat JSON object (schema divscrape.checkpoint.v2).
+  /// Detection-state blob covering exactly the records below `offset`
+  /// (raw bytes here; base64 in the JSON). Empty = none recorded: the
+  /// resumer falls back to a cold detector start. Producers fill it via
+  /// ReplayEngine::save_state / ShardedPipeline::save_state.
+  std::string state;
+
+  /// Serializes as one flat JSON object (schema divscrape.checkpoint.v3).
   [[nodiscard]] std::string to_json() const;
-  /// Parses what to_json() produces; also accepts the v1 schema (the new
-  /// fields default to 0, i.e. "unknown"). nullopt on malformed input or a
-  /// schema mismatch.
+  /// Parses v3, v2 and v1 schemas (missing fields default to 0 / empty —
+  /// see the compat matrix above). A v3 state blob that fails base64
+  /// decoding is dropped (state empty, cold resume) rather than rejecting
+  /// the whole checkpoint: a damaged blob must not lose the ingest offset.
+  /// nullopt on malformed input or a schema mismatch.
   [[nodiscard]] static std::optional<Checkpoint> from_json(
       std::string_view json);
 
@@ -83,8 +116,36 @@ struct Checkpoint {
            a.lines == b.lines && a.parsed == b.parsed &&
            a.skipped == b.skipped && a.rotations == b.rotations &&
            a.truncations == b.truncations &&
-           a.lost_incarnations == b.lost_incarnations;
+           a.lost_incarnations == b.lost_incarnations && a.state == b.state;
   }
+};
+
+/// Multi-file warm-resume snapshot (`tail --checkpoint-dir`): one atomic
+/// file embedding the per-log ingest checkpoints AND the shared detection
+/// state. The per-log checkpoint files cannot carry the state — detection
+/// state spans all logs, and N+1 separate files cannot be committed
+/// atomically together. Instead the commit sequence is: per-log files
+/// first (operator-visible, cold-compatible), then this session file last.
+/// A crash between the two leaves a session file that is merely *older*
+/// but internally consistent: warm resume honors the offsets embedded
+/// HERE, ignoring any newer per-log files, so state and offsets always
+/// describe the same cut of the stream.
+struct TailSessionState {
+  /// (log path, its ingest checkpoint at the snapshot), in tail order.
+  /// The embedded checkpoints carry no state blobs of their own.
+  std::vector<std::pair<std::string, Checkpoint>> logs;
+  /// Detection-state blob for the whole session (raw bytes), covering
+  /// exactly the records below the embedded offsets.
+  std::string state;
+
+  /// Serializes as JSON (schema divscrape.tail_session.v3).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static std::optional<TailSessionState> from_json(
+      std::string_view json);
+
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<TailSessionState> load(
+      const std::string& path);
 };
 
 }  // namespace divscrape::pipeline

@@ -21,6 +21,30 @@ void ReplayEngine::process_record(httplog::LogRecord&& record) {
   (void)joiner_.process(record);
 }
 
+bool ReplayEngine::save_state(util::StateWriter& w) const {
+  util::StateWriter body;
+  util::put_tag(body, 0x454E474Eu /* "ENGN" */, 1);
+  ua_tokens_.save_state(body);
+  if (!joiner_.save_state(body)) return false;
+  w.str(body.buffer());
+  return true;
+}
+
+bool ReplayEngine::load_state(util::StateReader& r) {
+  const auto fail = [&] {
+    ua_tokens_.clear();
+    joiner_.reset();
+    return false;
+  };
+  util::StateReader body(r.str());
+  if (!r.ok()) return fail();
+  if (!util::check_tag(body, 0x454E474Eu, 1)) return fail();
+  if (!ua_tokens_.load_state(body)) return fail();
+  if (!joiner_.load_state(body)) return fail();
+  if (!body.ok() || !body.at_end()) return fail();
+  return true;
+}
+
 ReplayStats ReplayEngine::replay(std::istream& in) {
   const ReplayStats before = decoder_.stats();
   const auto wall0 = std::chrono::steady_clock::now();

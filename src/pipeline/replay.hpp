@@ -109,6 +109,18 @@ class ReplayEngine {
     return joiner_.results();
   }
 
+  /// Warm-checkpoint dump of the dispatch stage: the stamping interner (its
+  /// tokens key every detector's per-client state, so it MUST travel with
+  /// them) plus the joiner (detector states + results). Ingest-side decoder
+  /// accounting is the tailer checkpoint's job, and the pacing anchor stays
+  /// cold (a resumed live tail re-anchors at its first record). Returns
+  /// false — writing nothing — when a pool member doesn't support state
+  /// serialization.
+  [[nodiscard]] bool save_state(util::StateWriter& w) const;
+  /// Restores from save_state() output; call before any feed()/replay().
+  /// On failure the engine is reset cold and false is returned.
+  [[nodiscard]] bool load_state(util::StateReader& r);
+
  private:
   core::AlertJoiner joiner_;
   util::StringInterner ua_tokens_;  ///< stamps records at dispatch

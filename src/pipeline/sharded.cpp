@@ -151,6 +151,44 @@ core::JointResults ShardedPipeline::finish() {
   return merged;
 }
 
+bool ShardedPipeline::save_state(util::StateWriter& w) {
+  // The drain barrier leaves every worker blocked on an empty queue, and
+  // its mutex handshakes order the workers' joiner writes before our reads.
+  drain();
+  std::vector<std::string> blobs;
+  blobs.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    util::StateWriter blob;
+    if (!shard->joiner->save_state(blob)) return false;
+    blobs.push_back(blob.take());
+  }
+  util::put_tag(w, 0x53485244u /* "SHRD" */, 1);
+  w.u64(shards_.size());
+  w.u64(dispatched_);
+  for (const std::string& blob : blobs) w.str(blob);
+  return true;
+}
+
+bool ShardedPipeline::load_state(util::StateReader& r) {
+  drain();
+  const auto fail = [&] {
+    r.fail();
+    for (auto& shard : shards_) shard->joiner->reset();
+    dispatched_ = 0;
+    return false;
+  };
+  if (!util::check_tag(r, 0x53485244u, 1)) return fail();
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count != shards_.size()) return fail();
+  dispatched_ = r.u64();
+  for (auto& shard : shards_) {
+    util::StateReader sub(r.str());
+    if (!r.ok() || !shard->joiner->load_state(sub) || !sub.at_end())
+      return fail();
+  }
+  return true;
+}
+
 core::JointResults run_sharded(const traffic::ScenarioConfig& scenario_config,
                                PoolFactory factory, std::size_t shards) {
   traffic::Scenario scenario(scenario_config);

@@ -76,6 +76,17 @@ class ShardedPipeline {
     return dispatched_;
   }
 
+  /// Warm-checkpoint dump of every shard's joiner (detector states +
+  /// per-shard results). Internally drain()s first — the workers are idle
+  /// and their queues empty while the states are read, so the dump is a
+  /// consistent cut of the whole pipeline. Returns false (nothing written)
+  /// if a pool member doesn't support serialization.
+  [[nodiscard]] bool save_state(util::StateWriter& w);
+  /// Restores from save_state() output; call before any process(). The
+  /// shard count must match the saved one (routing is count-dependent). On
+  /// failure every shard is reset cold and false is returned.
+  [[nodiscard]] bool load_state(util::StateReader& r);
+
  private:
   struct Shard {
     std::mutex mutex;

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/state.hpp"
+
 namespace divscrape::stats {
 
 /// Fixed-width binned histogram over [lo, hi) with under/overflow bins.
@@ -79,6 +81,26 @@ class Counter {
 
   [[nodiscard]] auto begin() const { return counts_.begin(); }
   [[nodiscard]] auto end() const { return counts_.end(); }
+
+  /// Dump/restore; the backing map is ordered, so serialization is already
+  /// deterministic for identical contents.
+  void save_state(util::StateWriter& w) const {
+    w.u64(counts_.size());
+    for (const auto& [k, v] : counts_) {
+      util::put_value(w, k);
+      w.u64(v);
+    }
+  }
+  [[nodiscard]] bool load_state(util::StateReader& r) {
+    counts_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Key k{};
+      if (!util::get_value(r, k)) return false;
+      counts_[k] = r.u64();
+    }
+    return r.ok();
+  }
 
  private:
   std::map<Key, std::uint64_t> counts_;

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "util/state.hpp"
+
 namespace divscrape::stats {
 
 /// Numerically stable online mean/variance/min/max accumulator.
@@ -30,6 +32,26 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel-merge identity:
   /// merging shards equals accumulating the concatenated stream).
   void merge(const RunningStats& other) noexcept;
+
+  /// Bit-exact dump/restore of the accumulator (doubles travel as IEEE-754
+  /// bit patterns, so a restored accumulator continues identically).
+  void save_state(util::StateWriter& w) const {
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  [[nodiscard]] bool load_state(util::StateReader& r) {
+    n_ = static_cast<std::size_t>(r.u64());
+    mean_ = r.f64();
+    m2_ = r.f64();
+    sum_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    return r.ok();
+  }
 
  private:
   std::size_t n_ = 0;

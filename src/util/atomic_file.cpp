@@ -7,10 +7,37 @@
 
 namespace divscrape::util {
 
+namespace {
+// -1 = no injected fault; >= 0 = fail the next call after this many bytes.
+long long g_fail_after = -1;
+}  // namespace
+
+void fail_next_atomic_write_after(std::size_t bytes) {
+  g_fail_after = static_cast<long long>(bytes);
+}
+
 bool write_file_atomic(const std::string& path, std::string_view contents) {
+  const long long fail_after = g_fail_after;
+  g_fail_after = -1;
+
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
+  if (fail_after >= 0 &&
+      static_cast<std::size_t>(fail_after) < contents.size()) {
+    // Injected crash: write the torn prefix, then fail before the rename —
+    // the on-disk picture a real mid-commit crash leaves behind.
+    std::size_t left = static_cast<std::size_t>(fail_after);
+    const char* p = contents.data();
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0) break;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return false;
+  }
   const char* p = contents.data();
   std::size_t left = contents.size();
   while (left > 0) {

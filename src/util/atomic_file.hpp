@@ -5,6 +5,7 @@
 // the one implementation of that pattern.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -14,5 +15,12 @@ namespace divscrape::util {
 /// Returns false (leaving `path` untouched) on any failure.
 [[nodiscard]] bool write_file_atomic(const std::string& path,
                                      std::string_view contents);
+
+/// Test seam: makes the NEXT write_file_atomic call fail after writing
+/// `bytes` of the payload, leaving the torn `<path>.tmp` sibling behind —
+/// exactly what a crash mid-commit leaves on disk. One-shot; subsequent
+/// calls behave normally. The atomicity tests use this to prove a torn
+/// state commit never corrupts the previous checkpoint.
+void fail_next_atomic_write_after(std::size_t bytes);
 
 }  // namespace divscrape::util

@@ -61,6 +61,32 @@ void StringInterner::clear() {
   table_.clear();
 }
 
+void StringInterner::save_state(StateWriter& w) const {
+  put_tag(w, 0x494E544Eu /* "INTN" */, 1);
+  w.u64(strings_.size());
+  for (const std::string& s : strings_) w.str(s);
+}
+
+bool StringInterner::load_state(StateReader& r) {
+  clear();
+  if (!check_tag(r, 0x494E544Eu, 1)) return false;
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string_view s = r.str();
+    if (!r.ok()) {
+      clear();
+      return false;
+    }
+    // A duplicate string in the blob would shift every later token; reject.
+    if (intern(s) != i + 1) {
+      clear();
+      r.fail();
+      return false;
+    }
+  }
+  return true;
+}
+
 void StringInterner::grow() {
   std::vector<Slot> bigger(table_.size() * 2);
   const std::size_t mask = bigger.size() - 1;

@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/state.hpp"
+
 namespace divscrape::util {
 
 class StringInterner {
@@ -47,6 +49,15 @@ class StringInterner {
 
   /// Forgets everything; previously returned tokens become invalid.
   void clear();
+
+  /// Dumps the token table as the ordered string list (token 1 first).
+  /// Tokens are dense and allocation-ordered, so the list alone rebuilds
+  /// the identical token assignment — including the probe-table layout,
+  /// which depends only on insertion order.
+  void save_state(StateWriter& w) const;
+  /// Rebuilds from save_state() output by re-interning in token order.
+  /// Returns false (leaving the interner cleared) on a malformed blob.
+  [[nodiscard]] bool load_state(StateReader& r);
 
  private:
   struct Slot {

@@ -1,0 +1,80 @@
+#include "util/state.hpp"
+
+namespace divscrape::util {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+// 0..63 for alphabet characters, 64 for '=', 255 otherwise.
+std::uint8_t decode_one(char c) noexcept {
+  if (c >= 'A' && c <= 'Z') return static_cast<std::uint8_t>(c - 'A');
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint8_t>(c - 'a' + 26);
+  if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0' + 52);
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  if (c == '=') return 64;
+  return 255;
+}
+}  // namespace
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = (std::uint32_t(std::uint8_t(bytes[i])) << 16) |
+                            (std::uint32_t(std::uint8_t(bytes[i + 1])) << 8) |
+                            std::uint32_t(std::uint8_t(bytes[i + 2]));
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = std::uint32_t(std::uint8_t(bytes[i])) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t v = (std::uint32_t(std::uint8_t(bytes[i])) << 16) |
+                            (std::uint32_t(std::uint8_t(bytes[i + 1])) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::string> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    std::uint8_t q[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      q[j] = decode_one(text[i + j]);
+      if (q[j] == 255) return std::nullopt;
+      if (q[j] == 64) {
+        // '=' is only legal in the last group's final one or two slots.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        ++pad;
+        q[j] = 0;
+      } else if (pad > 0) {
+        return std::nullopt;  // data after padding
+      }
+    }
+    const std::uint32_t v = (std::uint32_t(q[0]) << 18) |
+                            (std::uint32_t(q[1]) << 12) |
+                            (std::uint32_t(q[2]) << 6) | std::uint32_t(q[3]);
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<char>(v & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace divscrape::util

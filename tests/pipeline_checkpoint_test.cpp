@@ -20,6 +20,7 @@
 #include "stats/rng.hpp"
 #include "traffic/scenario.hpp"
 #include "traffic/stream_writer.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -58,9 +59,146 @@ TEST(Checkpoint, JsonRoundTripPreservesEveryField) {
   cp.rotations = 3;
   cp.truncations = 1;
   cp.lost_incarnations = 2;
+  // Arbitrary binary state, including NUL and high bytes: the blob must
+  // survive the base64 embedding byte-for-byte.
+  cp.state = std::string("\x00\x01\xfe\xffstate{}\"\\\n", 14);
   const auto parsed = pipeline::Checkpoint::from_json(cp.to_json());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(*parsed == cp);
+}
+
+// A checkpoint written by the v2 schema (prefix signature but no state
+// blob) must still load, with detection-state empty = cold resume.
+TEST(Checkpoint, LoadsV2SchemaWithColdState) {
+  const std::string v2 =
+      "{\"schema\":\"divscrape.checkpoint.v2\",\"inode\":42,\"offset\":4096,"
+      "\"sig_len\":64,\"sig_hash\":123456,\"lines\":100,\"parsed\":98,"
+      "\"skipped\":2,\"rotations\":1,\"truncations\":0,"
+      "\"lost_incarnations\":3}";
+  const auto parsed = pipeline::Checkpoint::from_json(v2);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sig_len, 64u);
+  EXPECT_EQ(parsed->sig_hash, 123456u);
+  EXPECT_EQ(parsed->lost_incarnations, 3u);
+  EXPECT_TRUE(parsed->state.empty());
+}
+
+// Pin of the exact v3 wire format: a byte-for-byte sample that future
+// writers must keep loadable (the compat matrix in checkpoint.hpp).
+TEST(Checkpoint, LoadsPinnedV3Sample) {
+  const std::string v3 =
+      "{\"schema\":\"divscrape.checkpoint.v3\",\"inode\":7,\"offset\":512,"
+      "\"sig_len\":64,\"sig_hash\":99,\"lines\":10,\"parsed\":9,"
+      "\"skipped\":1,\"rotations\":0,\"truncations\":0,"
+      "\"lost_incarnations\":0,\"state_b64\":\"d2FybQ==\"}";
+  const auto parsed = pipeline::Checkpoint::from_json(v3);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->offset, 512u);
+  EXPECT_EQ(parsed->state, "warm");
+}
+
+// A v3 checkpoint whose blob is not valid base64 must still load — with
+// the state dropped (cold), because a damaged blob must never cost the
+// ingest offset.
+TEST(Checkpoint, UndecodableStateBlobDegradesToCold) {
+  const std::string v3 =
+      "{\"schema\":\"divscrape.checkpoint.v3\",\"inode\":7,\"offset\":512,"
+      "\"sig_len\":0,\"sig_hash\":0,\"lines\":10,\"parsed\":9,"
+      "\"skipped\":1,\"rotations\":0,\"truncations\":0,"
+      "\"lost_incarnations\":0,\"state_b64\":\"!!!not-base64!!!\"}";
+  const auto parsed = pipeline::Checkpoint::from_json(v3);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->offset, 512u);
+  EXPECT_TRUE(parsed->state.empty());
+}
+
+// A crash mid-commit (fault-injected into write_file_atomic) must leave
+// the previous checkpoint untouched on disk, with only a torn .tmp
+// sibling as evidence — offset and state can never be observed torn apart.
+TEST(Checkpoint, TornCommitPreservesPreviousCheckpoint) {
+  const auto path = temp_path("torn_commit.json");
+  pipeline::Checkpoint first;
+  first.inode = 1;
+  first.offset = 100;
+  first.parsed = 10;
+  first.state = "generation-one-state";
+  ASSERT_TRUE(first.save(path));
+
+  pipeline::Checkpoint second = first;
+  second.offset = 200;
+  second.parsed = 20;
+  second.state = "generation-two-state";
+  util::fail_next_atomic_write_after(25);  // torn mid-payload
+  EXPECT_FALSE(second.save(path));
+
+  const auto loaded = pipeline::Checkpoint::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == first) << "torn commit damaged the previous file";
+  // The torn sibling is what a real crash leaves; the next successful save
+  // must replace it cleanly.
+  ASSERT_TRUE(second.save(path));
+  const auto after = pipeline::Checkpoint::load(path);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(*after == second);
+  std::remove(path.c_str());
+}
+
+TEST(TailSessionState, RoundTripsLogsAndState) {
+  pipeline::TailSessionState session;
+  pipeline::Checkpoint a;
+  a.inode = 11;
+  a.offset = 1111;
+  a.parsed = 11;
+  pipeline::Checkpoint b;
+  b.inode = 22;
+  b.offset = 2222;
+  b.parsed = 22;
+  b.rotations = 1;
+  session.logs.emplace_back("/var/log/a.log", a);
+  session.logs.emplace_back("/var/log/b.log", b);
+  session.state = std::string("\x01\x00\xff shared", 10);
+
+  const auto parsed = pipeline::TailSessionState::from_json(session.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->logs.size(), 2u);
+  EXPECT_EQ(parsed->logs[0].first, "/var/log/a.log");
+  EXPECT_TRUE(parsed->logs[0].second == a);
+  EXPECT_EQ(parsed->logs[1].first, "/var/log/b.log");
+  EXPECT_TRUE(parsed->logs[1].second == b);
+  EXPECT_EQ(parsed->state, session.state);
+}
+
+TEST(TailSessionState, RejectsMalformedInput) {
+  EXPECT_FALSE(pipeline::TailSessionState::from_json("").has_value());
+  EXPECT_FALSE(pipeline::TailSessionState::from_json("{}").has_value());
+  EXPECT_FALSE(pipeline::TailSessionState::from_json(
+                   "{\"schema\":\"divscrape.checkpoint.v3\"}")
+                   .has_value());
+  // Right schema, log entry without a path.
+  EXPECT_FALSE(pipeline::TailSessionState::from_json(
+                   "{\"schema\":\"divscrape.tail_session.v3\","
+                   "\"logs\":[{\"offset\":1}],\"state_b64\":\"\"}")
+                   .has_value());
+}
+
+TEST(TailSessionState, TornCommitPreservesPreviousSession) {
+  const auto path = temp_path("torn_session.json");
+  pipeline::TailSessionState first;
+  first.logs.emplace_back("a.log", pipeline::Checkpoint{});
+  first.state = "one";
+  ASSERT_TRUE(first.save(path));
+
+  pipeline::TailSessionState second;
+  second.logs.emplace_back("a.log", pipeline::Checkpoint{});
+  second.state = "two";
+  util::fail_next_atomic_write_after(30);
+  EXPECT_FALSE(second.save(path));
+
+  const auto loaded = pipeline::TailSessionState::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->state, "one");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 // A checkpoint written by the v1 schema (before the prefix signature and

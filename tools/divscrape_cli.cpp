@@ -33,9 +33,13 @@
 //
 // Tail options:
 //   --checkpoint <file>   resume from / persist an ingest checkpoint
-//                         (single-file mode)
+//                         (single-file mode; carries the detector-state
+//                         blob, so resume is warm when the blob restores)
 //   --checkpoint-dir <d>  per-log checkpoint files under one directory
-//                         (multi-file / sharded mode; works for one log too)
+//                         (multi-file / sharded mode; works for one log
+//                         too). Adds tail_session.state.json: per-log
+//                         offsets + the shared detector state, committed
+//                         last so warm resume always sees a consistent cut
 //   --shards <n>          dispatch merged records to a ShardedPipeline with
 //                         n worker threads (results print at exit)
 //   --reorder-ms <n>      multi-file merge reorder window (default 2000)
@@ -77,6 +81,7 @@
 #include "traffic/stream_writer.hpp"
 #include "util/atomic_file.hpp"
 #include "util/interner.hpp"
+#include "util/state.hpp"
 #include "workload/catalog.hpp"
 #include "workload/engine.hpp"
 
@@ -524,19 +529,91 @@ int cmd_tail_multi(const CliOptions& opts) {
       static_cast<std::int64_t>(opts.reorder_ms) * 1000;
   pipeline::MultiTailer tailer(opts.inputs, std::move(sink), tail_config);
 
+  // The session file carries the detection-state blob plus the per-log
+  // offsets it covers; the per-log .cp.json files stay operator-visible and
+  // cold-compatible. Blob layout: one mode byte (0 = sequential engine,
+  // 1 = sharded: dispatch interner + per-shard joiners) then that mode's
+  // component states — a sharded snapshot can never be misread by a
+  // sequential resume or vice versa.
+  const std::string session_path =
+      opts.checkpoint_dir.empty()
+          ? std::string()
+          : opts.checkpoint_dir + "/tail_session.state.json";
+  const auto restore_session_state = [&](const std::string& blob) {
+    util::StateReader r(blob);
+    const std::uint8_t mode = r.u8();
+    if (!r.ok() || mode != (sharded ? 1 : 0)) return false;
+    if (sharded) {
+      if (!ua_tokens.load_state(r) || !sharded->load_state(r)) return false;
+    } else if (!engine->load_state(r)) {
+      return false;
+    }
+    return r.at_end();
+  };
+
+  bool warm = false;
   if (!opts.checkpoint_dir.empty()) {
-    for (std::size_t i = 0; i < tailer.files(); ++i) {
-      const auto cp_path =
-          checkpoint_file_for(opts.checkpoint_dir, tailer.path(i));
-      if (const auto cp = pipeline::Checkpoint::load(cp_path)) {
-        const bool honored = tailer.resume(i, *cp);
+    if (const auto session = pipeline::TailSessionState::load(session_path)) {
+      const auto embedded = [&](const std::string& path) {
+        for (const auto& [p, cp] : session->logs)
+          if (p == path) return &cp;
+        return static_cast<const pipeline::Checkpoint*>(nullptr);
+      };
+      bool paths_match = session->logs.size() == tailer.files();
+      for (std::size_t i = 0; paths_match && i < tailer.files(); ++i) {
+        paths_match = embedded(tailer.path(i)) != nullptr;
+      }
+      if (paths_match && !session->state.empty()) {
+        // Resume ingest from the offsets embedded alongside the blob (NOT
+        // the per-log files, which may describe a newer cut): state and
+        // offsets must name the same point in every stream. Only if every
+        // offset is honored is the warm restore attempted — a replaced
+        // file restarts at 0 and would replay records the blob already
+        // counted.
+        bool all_honored = true;
+        for (std::size_t i = 0; i < tailer.files(); ++i) {
+          all_honored &= tailer.resume(i, *embedded(tailer.path(i)));
+        }
+        warm = all_honored && restore_session_state(session->state);
+        if (warm) {
+          for (std::size_t i = 0; i < tailer.files(); ++i) {
+            const auto* cp = embedded(tailer.path(i));
+            std::fprintf(
+                stderr,
+                "resumed %s from %s: offset %llu honored (%llu records "
+                "already ingested; detector state restored warm)\n",
+                tailer.path(i).c_str(), session_path.c_str(),
+                static_cast<unsigned long long>(cp->offset),
+                static_cast<unsigned long long>(cp->parsed));
+          }
+        } else {
+          std::fprintf(stderr,
+                       "warning: cannot restore detector state from %s "
+                       "(replaced log, mode change, or stale blob); "
+                       "detection restarts cold\n",
+                       session_path.c_str());
+        }
+      } else if (!paths_match) {
         std::fprintf(stderr,
-                     "resumed %s from %s: offset %llu %s (%llu records "
-                     "already ingested; detector state restarts cold)\n",
-                     tailer.path(i).c_str(), cp_path.c_str(),
-                     static_cast<unsigned long long>(cp->offset),
-                     honored ? "honored" : "discarded (file replaced)",
-                     static_cast<unsigned long long>(cp->parsed));
+                     "warning: %s describes a different log set; detection "
+                     "restarts cold\n",
+                     session_path.c_str());
+      }
+    }
+    if (!warm) {
+      for (std::size_t i = 0; i < tailer.files(); ++i) {
+        const auto cp_path =
+            checkpoint_file_for(opts.checkpoint_dir, tailer.path(i));
+        if (const auto cp = pipeline::Checkpoint::load(cp_path)) {
+          const bool honored = tailer.resume(i, *cp);
+          std::fprintf(stderr,
+                       "resumed %s from %s: offset %llu %s (%llu records "
+                       "already ingested; detector state restarts cold)\n",
+                       tailer.path(i).c_str(), cp_path.c_str(),
+                       static_cast<unsigned long long>(cp->offset),
+                       honored ? "honored" : "discarded (file replaced)",
+                       static_cast<unsigned long long>(cp->parsed));
+        }
       }
     }
   }
@@ -562,6 +639,28 @@ int cmd_tail_multi(const CliOptions& opts) {
         if (!tailer.checkpoint(i).save(cp_path)) {
           std::fprintf(stderr, "cannot save checkpoint %s\n",
                        cp_path.c_str());
+        }
+      }
+      // Session file last (see TailSessionState): a crash after the per-log
+      // saves but before this leaves an older-but-consistent warm snapshot.
+      util::StateWriter w;
+      w.u8(sharded ? 1 : 0);
+      bool have_state;
+      if (sharded) {
+        ua_tokens.save_state(w);
+        have_state = sharded->save_state(w);
+      } else {
+        have_state = engine->save_state(w);
+      }
+      if (have_state) {
+        pipeline::TailSessionState session;
+        for (std::size_t i = 0; i < tailer.files(); ++i) {
+          session.logs.emplace_back(tailer.path(i), tailer.checkpoint(i));
+        }
+        session.state = w.take();
+        if (!session.save(session_path)) {
+          std::fprintf(stderr, "cannot save session state %s\n",
+                       session_path.c_str());
         }
       }
     }
@@ -654,22 +753,41 @@ int cmd_tail(const CliOptions& opts) {
   if (!opts.checkpoint_path.empty()) {
     if (const auto cp = pipeline::Checkpoint::load(opts.checkpoint_path)) {
       const bool honored = tailer.resume(*cp);
+      // Warm restore only behind an honored offset: a discarded offset
+      // re-ingests from 0, and records the blob already counted would be
+      // scored twice.
+      bool warm = false;
+      if (honored && !cp->state.empty()) {
+        util::StateReader r(cp->state);
+        warm = engine.load_state(r) && r.at_end();
+        if (!warm) {
+          std::fprintf(stderr,
+                       "warning: cannot restore detector state from %s "
+                       "(stale or damaged blob); detection restarts cold\n",
+                       opts.checkpoint_path.c_str());
+        }
+      }
       std::fprintf(stderr,
                    "resumed from %s: offset %llu %s (%llu records already "
-                   "ingested; detector state restarts cold)\n",
+                   "ingested; detector state %s)\n",
                    opts.checkpoint_path.c_str(),
                    static_cast<unsigned long long>(cp->offset),
                    honored ? "honored" : "discarded (file replaced)",
-                   static_cast<unsigned long long>(cp->parsed));
+                   static_cast<unsigned long long>(cp->parsed),
+                   warm ? "restored warm" : "restarts cold");
     }
   }
   if (opts.follow) std::signal(SIGINT, tail_sigint);
 
   const auto persist = [&]() {
-    if (!opts.checkpoint_path.empty() &&
-        !tailer.checkpoint().save(opts.checkpoint_path)) {
-      std::fprintf(stderr, "cannot save checkpoint %s\n",
-                   opts.checkpoint_path.c_str());
+    if (!opts.checkpoint_path.empty()) {
+      pipeline::Checkpoint cp = tailer.checkpoint();
+      util::StateWriter w;
+      if (engine.save_state(w)) cp.state = w.take();
+      if (!cp.save(opts.checkpoint_path)) {
+        std::fprintf(stderr, "cannot save checkpoint %s\n",
+                     opts.checkpoint_path.c_str());
+      }
     }
     if (!opts.results_path.empty() &&
         !flush_results(engine.results(), opts.results_path)) {
