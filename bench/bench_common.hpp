@@ -23,6 +23,7 @@
 #include "core/paper_reference.hpp"
 #include "core/report.hpp"
 #include "traffic/scenario.hpp"
+#include "util/rss.hpp"
 
 namespace divscrape::bench {
 
@@ -84,6 +85,14 @@ inline std::uint64_t peak_rss_kb() {
   rss /= 1024;
 #endif
   return rss;
+}
+
+/// *Current* resident set size in kilobytes — unlike peak_rss_kb() this can
+/// detect mid-run growth and post-catch-up shrink, which is what soak
+/// watermarks need. /proc/self/statm on Linux, peak fallback elsewhere.
+inline std::uint64_t current_rss_kb() {
+  const auto kb = util::current_rss_kb();
+  return kb > 0 ? static_cast<std::uint64_t>(kb) : 0;
 }
 
 /// One measured end-to-end run for the machine-readable bench output.

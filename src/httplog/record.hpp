@@ -52,6 +52,10 @@ struct LogRecord {
   /// Simulator actor class (traffic::ActorClass value); 255 = none. Opaque
   /// to this layer; used by calibration/ablation reports only.
   std::uint8_t actor_class = 255;
+  /// Simulator vhost index (position in the ScenarioSpec's vhost list) —
+  /// how `simulate --out-multi` routes the merged stream into one CLF log
+  /// per vhost. 0 for single-vhost scenarios and parsed records.
+  std::uint32_t vhost = 0;
 
   /// Path portion of `target` (up to '?').
   [[nodiscard]] std::string_view path() const noexcept {

@@ -12,13 +12,38 @@ void TrafficGenerator::push_event(Event e) {
   std::push_heap(heap_.begin(), heap_.end());
 }
 
-void TrafficGenerator::add_actor(std::unique_ptr<Actor> actor,
-                                 httplog::Timestamp start) {
-  if (start >= end_time_) return;
+std::size_t TrafficGenerator::place_actor(std::unique_ptr<Actor> actor,
+                                          std::uint32_t vhost) {
+  ++actors_created_;
+  ++live_actors_;
+  peak_live_ = std::max(peak_live_, live_actors_);
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    actors_[slot] = std::move(actor);
+    ua_cache_[slot] = UaTokenCache{};  // stale token must not leak across
+    vhost_of_[slot] = vhost;
+    return slot;
+  }
   actors_.push_back(std::move(actor));
   ua_cache_.emplace_back();
-  ++live_actors_;
-  push_event({start, actors_.size() - 1, SIZE_MAX});
+  vhost_of_.push_back(vhost);
+  return actors_.size() - 1;
+}
+
+void TrafficGenerator::add_actor(std::unique_ptr<Actor> actor,
+                                 httplog::Timestamp start,
+                                 std::uint32_t vhost) {
+  if (start >= end_time_) return;
+  push_event({start, place_actor(std::move(actor), vhost), SIZE_MAX});
+}
+
+void TrafficGenerator::add_lazy_actor(std::uint64_t cookie,
+                                      httplog::Timestamp start) {
+  if (start >= end_time_) return;
+  lazy_cookies_.push_back(cookie);
+  ++pending_lazy_;
+  push_event({start, kLazyBit | (lazy_cookies_.size() - 1), SIZE_MAX});
 }
 
 void TrafficGenerator::add_arrivals(ArrivalProcess process,
@@ -33,18 +58,26 @@ void TrafficGenerator::add_arrivals(ArrivalProcess process,
 bool TrafficGenerator::next(httplog::LogRecord& out) {
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end());
-    const Event e = heap_.back();
+    Event e = heap_.back();
     heap_.pop_back();
 
     if (e.arrival_idx != SIZE_MAX) {
       auto& process = arrivals_[e.arrival_idx];
       auto actor = process.make_actor(e.time);
-      if (actor) add_actor(std::move(actor), e.time);
+      if (actor) add_actor(std::move(actor), e.time, process.vhost);
       const auto next = process.next_arrival(e.time);
       if (next && *next < end_time_) {
         push_event({*next, SIZE_MAX, e.arrival_idx});
       }
       continue;
+    }
+
+    if (e.actor_idx & kLazyBit) {
+      // Deferred actor's first event: build it now, into a pooled slot,
+      // and step it this very pop — exactly when the eager path would have.
+      auto made = materializer_(lazy_cookies_[e.actor_idx & ~kLazyBit]);
+      --pending_lazy_;
+      e.actor_idx = place_actor(std::move(made.actor), made.vhost);
     }
 
     auto& actor = actors_[e.actor_idx];
@@ -59,7 +92,11 @@ bool TrafficGenerator::next(httplog::LogRecord& out) {
     if (result.next && *result.next < end_time_) {
       push_event({*result.next, e.actor_idx, SIZE_MAX});
     } else {
+      // Lifetime over: free the state now and recycle the slot — with lazy
+      // registration this is what keeps resident actors bounded by the
+      // *concurrently-live* population.
       actor.reset();
+      free_slots_.push_back(e.actor_idx);
       --live_actors_;
     }
     if (emit) {
@@ -73,6 +110,7 @@ bool TrafficGenerator::next(httplog::LogRecord& out) {
         cache.epoch = epoch;
       }
       out.ua_token = cache.token;
+      out.vhost = vhost_of_[e.actor_idx];
       ++emitted_;
       return true;
     }

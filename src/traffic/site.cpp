@@ -40,7 +40,8 @@ SiteModel::SiteModel() : SiteModel(Config{}) {}
 
 SiteModel::SiteModel(Config config)
     : config_(config),
-      offer_popularity_(config.catalogue_size, config.offer_zipf_s) {}
+      offer_popularity_(config.catalogue_size, config.offer_zipf_s,
+                        config.zipf_table_cap) {}
 
 std::size_t SiteModel::sample_popular_offer(stats::Rng& rng) const {
   return offer_popularity_.sample(rng);

@@ -59,6 +59,11 @@ class SiteModel {
     double api_no_content_p = 0.28;
     /// Baseline probability of a transient server error on dynamic pages.
     double server_error_p = 8e-6;
+    /// Cap on the exact Zipf popularity table (0 = exact O(catalogue_size)
+    /// table). Megasite catalogues set this so per-vhost memory stays flat;
+    /// tail offers are then sampled by a continuous power-law approximation
+    /// (see stats::ZipfDistribution).
+    std::size_t zipf_table_cap = 0;
   };
 
   SiteModel();  ///< default-configured site

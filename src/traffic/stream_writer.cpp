@@ -33,10 +33,16 @@ void StreamWriter::open_fresh() {
 
 void StreamWriter::raw_write(const char* data, std::size_t size) {
   while (size > 0 && fd_ >= 0) {
-    const ssize_t n = ::write(fd_, data, size);
+    const ssize_t n = plan_.write_fn ? plan_.write_fn(fd_, data, size)
+                                     : ::write(fd_, data, size);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // disk-level failure: drop, like a real logger under ENOSPC
+      // Disk-level failure: drop the rest, like a real logger under ENOSPC,
+      // but count it so callers (and the soak harness) can account for it.
+      ++write_errors_;
+      last_errno_ = errno;
+      dropped_bytes_ += size;
+      return;
     }
     data += n;
     size -= static_cast<std::size_t>(n);
@@ -46,6 +52,15 @@ void StreamWriter::raw_write(const char* data, std::size_t size) {
 
 void StreamWriter::flush() {
   if (pending_.empty()) return;
+  if (plan_.write_fn) {
+    // A seam is installed: route every byte through it, line by line, so
+    // scripted short-write/EINTR/ENOSPC faults see the same stream the
+    // kernel would.
+    std::vector<std::string> lines;
+    lines.swap(pending_);
+    for (const auto& line : lines) raw_write(line.data(), line.size());
+    return;
+  }
   // One writev per IOV_MAX-sized slice: each queued line is its own iovec,
   // so the kernel copies straight from the encoded strings with no
   // concatenation pass.
@@ -66,6 +81,10 @@ void StreamWriter::flush() {
     const ssize_t n = ::writev(fd_, iov.data(), static_cast<int>(iov.size()));
     if (n < 0) {
       if (errno == EINTR) continue;
+      ++write_errors_;
+      last_errno_ = errno;
+      for (std::size_t i = start; i < pending_.size(); ++i)
+        dropped_bytes_ += pending_[i].size();
       break;  // disk-level failure: drop the rest
     }
     bytes_ += static_cast<std::uint64_t>(n);

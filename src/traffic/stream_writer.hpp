@@ -51,6 +51,12 @@ struct StreamFaultPlan {
                                      ///< bytes a reader never drained are
                                      ///< gone; it must detect, not skew)
   std::uint64_t seed = 1;            ///< tear-point RNG seed
+
+  /// Test seam mirroring LogTailer's read_fn: when set, every byte goes
+  /// through this instead of ::write(2), so tests can script short writes,
+  /// EINTR storms, and one-shot ENOSPC at exact byte offsets. While set,
+  /// flush() writes line-by-line through the seam instead of writev(2).
+  ssize_t (*write_fn)(int fd, const void* buf, std::size_t count) = nullptr;
 };
 
 class StreamWriter {
@@ -107,6 +113,17 @@ class StreamWriter {
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
     return bytes_;
   }
+  /// Non-EINTR write failures observed (each drops the rest of its burst,
+  /// like a real logger under ENOSPC).
+  [[nodiscard]] std::uint64_t write_errors() const noexcept {
+    return write_errors_;
+  }
+  /// Bytes dropped by those failures.
+  [[nodiscard]] std::uint64_t dropped_bytes() const noexcept {
+    return dropped_bytes_;
+  }
+  /// errno of the most recent write failure (0 = none yet).
+  [[nodiscard]] int last_errno() const noexcept { return last_errno_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
@@ -122,6 +139,9 @@ class StreamWriter {
   std::vector<std::string> pending_;  ///< queued complete lines (batched)
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t write_errors_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  int last_errno_ = 0;
   std::uint64_t rotation_count_ = 0;
   httplog::Pacer pacer_;  ///< pump() pacing anchor
 };

@@ -1,0 +1,45 @@
+// Process-memory sampling for soak watermarks and bench telemetry.
+//
+// peak RSS (getrusage ru_maxrss) is a lifetime high-water mark and cannot
+// detect mid-run growth or post-catch-up shrink; the soak harness needs the
+// *current* resident set. On Linux that is /proc/self/statm (resident pages
+// times the page size); elsewhere we fall back to the lifetime peak, which
+// keeps watermark checks conservative rather than silently disabled.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace divscrape::util {
+
+/// Lifetime peak resident set size in KiB (ru_maxrss; bytes on macOS).
+inline std::int64_t peak_rss_kb() noexcept {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;
+#else
+  return usage.ru_maxrss;
+#endif
+}
+
+/// Current resident set size in KiB, sampled from /proc/self/statm.
+/// Falls back to peak_rss_kb() where /proc is unavailable.
+inline std::int64_t current_rss_kb() noexcept {
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    long total_pages = 0, resident_pages = 0;
+    const int n = std::fscanf(statm, "%ld %ld", &total_pages, &resident_pages);
+    std::fclose(statm);
+    if (n == 2 && resident_pages >= 0) {
+      const long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+      return static_cast<std::int64_t>(resident_pages) *
+             (page_kb > 0 ? page_kb : 4);
+    }
+  }
+  return peak_rss_kb();
+}
+
+}  // namespace divscrape::util

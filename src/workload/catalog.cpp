@@ -144,6 +144,85 @@ ScenarioSpec make_mixed_multi_vhost() {
   return spec;
 }
 
+/// A production day at estate scale: four vhosts whose *distinct* actor
+/// population crosses one million in 24 simulated hours. The malicious mix
+/// is churn-shaped — short-lived hit-and-run bots (small lifetime_requests)
+/// arriving throughout the day — so the concurrently-live population stays
+/// in the low tens of thousands while the distinct population is ~1M;
+/// that, plus capped Zipf tables over multi-million-entry catalogues, is
+/// what EngineConfig::lazy_actors turns into flat memory. This is the
+/// chaos-soak workload (`divscrape_cli soak`); run it at --scale 0.01 for
+/// a CI-sized smoke.
+ScenarioSpec make_megasite() {
+  ScenarioSpec spec;
+  spec.name = "megasite";
+  spec.duration_days = 1.0;
+
+  VhostSpec www;
+  www.name = "www";
+  www.site.catalogue_size = 2'000'000;
+  www.site.zipf_table_cap = 65'536;
+  www.humans.arrivals_per_s = 0.25;
+  www.crawlers = 6;
+  www.monitors = 4;
+  auto churn = fleet(6, 60'000, 2'000);
+  churn.ramp_days = 0.9;         // arrivals spread across the whole day
+  churn.lifetime_requests = 12;  // hit-and-run: retire after one burst
+  churn.gap_mean_s = 2.0;
+  auto residential = stealth(280'000);
+  residential.ramp_days = 0.9;
+  residential.lifetime_requests = 5;
+  www.attacks = {churn, residential};
+
+  VhostSpec m;
+  m.name = "m";
+  m.site.catalogue_size = 400'000;
+  m.site.zipf_table_cap = 32'768;
+  m.site.asset_count = 8;
+  m.humans.arrivals_per_s = 0.12;
+  m.crawlers = 2;
+  auto pollers = api_pollers(60'000, 400);
+  pollers.ramp_days = 0.9;
+  pollers.lifetime_requests = 10;
+  auto cache_bust = caching(40'000);
+  cache_bust.ramp_days = 0.9;
+  cache_bust.lifetime_requests = 8;
+  m.attacks = {pollers, cache_bust};
+
+  VhostSpec api;
+  api.name = "api";
+  api.site.catalogue_size = 1'000'000;
+  api.site.zipf_table_cap = 65'536;
+  api.humans.arrivals_per_s = 0.02;
+  api.crawlers = 0;
+  api.monitors = 8;
+  auto sweep = fleet(4, 45'000, 1'500);
+  sweep.ramp_days = 0.9;
+  sweep.lifetime_requests = 10;
+  sweep.gap_mean_s = 1.0;
+  api.attacks = {sweep};
+
+  VhostSpec agency;
+  agency.name = "agency";
+  agency.site.catalogue_size = 50'000;
+  agency.site.zipf_table_cap = 16'384;
+  agency.site.city_pairs = 80;
+  agency.humans.arrivals_per_s = 0.01;
+  agency.crawlers = 1;
+  agency.monitors = 2;
+  auto buggy = malformed(30'000);
+  buggy.ramp_days = 0.9;
+  buggy.lifetime_requests = 5;
+  auto fraud = stealth(60'000);
+  fraud.ramp_days = 0.9;
+  fraud.lifetime_requests = 5;
+  agency.attacks = {buggy, fraud};
+
+  spec.vhosts = {std::move(www), std::move(m), std::move(api),
+                 std::move(agency)};
+  return spec;
+}
+
 /// A one-hour miniature with every population represented — mirrors
 /// traffic::smoke_test() so unit tests and CI smokes finish in
 /// milliseconds yet still produce alerts from both detectors.
@@ -176,6 +255,8 @@ const std::vector<CatalogEntry>& catalog() {
        "320 stealth bots, clean IPs, two patient weeks (hardest shape)"},
       {"mixed_multi_vhost",
        "shop + mobile API + agency portal, distinct sites and mixes"},
+      {"megasite",
+       "four-vhost production day, >1M distinct actors (chaos-soak scale)"},
       {"smoke", "one-hour miniature of every population, for CI and tests"},
   };
   return entries;
@@ -189,6 +270,7 @@ std::optional<ScenarioSpec> catalog_entry(std::string_view name,
   if (name == "scraper_fleet_ramp") spec = make_scraper_fleet_ramp();
   if (name == "low_and_slow") spec = make_low_and_slow();
   if (name == "mixed_multi_vhost") spec = make_mixed_multi_vhost();
+  if (name == "megasite") spec = make_megasite();
   if (name == "smoke") spec = make_smoke();
   if (spec) spec->scale = scale;
   return spec;

@@ -84,20 +84,290 @@ void apply_overrides(traffic::BotProfile& profile, const AttackSpec& attack) {
     profile.lifetime_requests = attack.lifetime_requests;
 }
 
+int campaigns_of(const AttackSpec& attack) noexcept {
+  if (attack.kind == AttackKind::kFleet) return attack.campaigns;
+  if (attack.kind == AttackKind::kApiPollers) return 1;
+  return 0;
+}
+
+[[nodiscard]] Rng spec_actor_rng(const ScenarioSpec& spec,
+                                 std::uint64_t salt) noexcept {
+  return Rng(mix_seed(mix_seed(spec.seed, kActorSalt), salt));
+}
+
+/// First-session time: an explicit onboarding ramp spreads arrivals over
+/// `ramp_days`; otherwise the archetype stagger (uniform over one pause,
+/// capped at half the scenario so short runs still see everyone).
+[[nodiscard]] Timestamp spec_start_time(const ScenarioSpec& spec, Rng& rng,
+                                        double pause_s, double ramp_days) {
+  const double duration_s = spec.duration_days * 24.0 * 3600.0;
+  const double window_s =
+      ramp_days > 0.0 ? std::min(ramp_days * 24.0 * 3600.0, duration_s)
+                      : std::min(pause_s, duration_s / 2.0);
+  return spec.start + seconds_to_micros(rng.uniform(0.0, window_s));
+}
+
+}  // namespace
+
+/// Scripted-actor group kinds, one per inner population loop, listed in
+/// walk order within their vhost.
+enum class GroupKind : std::uint8_t {
+  kCrawler,
+  kMonitor,
+  kFleetFast,
+  kFleetSlow,
+  kStealth,
+  kApiClean,
+  kApiFleet,
+  kMalformed,
+  kCaching,
+};
+
+/// One contiguous global-ordinal range of scripted actors built by the
+/// same population loop. The table of these IS the lazy-actor contract: a
+/// global ordinal (which doubles as the actor's RNG salt and the deferred
+/// cookie) maps back to (vhost, kind, member index) by range lookup, so a
+/// deferred actor needs no per-actor storage beyond the cookie and is
+/// reconstructed bit-identically at its first arrival.
+struct ActorGroup {
+  std::uint64_t begin = 0;  ///< first global ordinal of the group
+  std::uint64_t end = 0;    ///< one past the last
+  GroupKind kind = GroupKind::kCrawler;
+  std::uint32_t vhost = 0;   ///< index into spec.vhosts
+  std::uint32_t attack = 0;  ///< index into the vhost's attacks (bots only)
+  int campaign = 0;          ///< absolute campaign index (fleet flavours)
+};
+
+namespace {
+
+/// Walks the population in the exact builder order and records every
+/// scripted group's ordinal range. Shared by every partition builder and
+/// the lazy materializer, so ranges and construction can never disagree.
+std::vector<ActorGroup> build_group_table(const ScenarioSpec& spec) {
+  std::vector<ActorGroup> groups;
+  std::uint64_t ordinal = 0;
+  int campaign_cursor = 0;
+  const auto add = [&](GroupKind kind, std::uint32_t v, std::uint32_t a,
+                       int campaign, int count) {
+    if (count <= 0) return;
+    groups.push_back({ordinal, ordinal + static_cast<std::uint64_t>(count),
+                      kind, v, a, campaign});
+    ordinal += static_cast<std::uint64_t>(count);
+  };
+  for (std::size_t v = 0; v < spec.vhosts.size(); ++v) {
+    const auto& vhost = spec.vhosts[v];
+    const auto vi = static_cast<std::uint32_t>(v);
+    add(GroupKind::kCrawler, vi, 0, 0, scaled(vhost.crawlers, spec.scale));
+    add(GroupKind::kMonitor, vi, 0, 0, scaled(vhost.monitors, spec.scale));
+    for (std::size_t a = 0; a < vhost.attacks.size(); ++a) {
+      const auto& attack = vhost.attacks[a];
+      const auto ai = static_cast<std::uint32_t>(a);
+      const int campaign0 = campaign_cursor;
+      campaign_cursor += campaigns_of(attack);
+      switch (attack.kind) {
+        case AttackKind::kFleet:
+          for (int c = 0; c < attack.campaigns; ++c) {
+            add(GroupKind::kFleetFast, vi, ai, campaign0 + c,
+                scaled(attack.bots, spec.scale));
+            add(GroupKind::kFleetSlow, vi, ai, campaign0 + c,
+                scaled(attack.slow_bots, spec.scale));
+          }
+          break;
+        case AttackKind::kStealth:
+          add(GroupKind::kStealth, vi, ai, 0,
+              scaled(attack.bots, spec.scale));
+          break;
+        case AttackKind::kApiPollers:
+          add(GroupKind::kApiClean, vi, ai, 0,
+              scaled(attack.bots, spec.scale));
+          add(GroupKind::kApiFleet, vi, ai, campaign0,
+              scaled(attack.fleet_bots, spec.scale));
+          break;
+        case AttackKind::kMalformed:
+          add(GroupKind::kMalformed, vi, ai, 0,
+              scaled(attack.bots, spec.scale));
+          break;
+        case AttackKind::kCaching:
+          add(GroupKind::kCaching, vi, ai, 0,
+              scaled(attack.bots, spec.scale));
+          break;
+      }
+    }
+  }
+  return groups;
+}
+
+struct BuiltActor {
+  std::unique_ptr<traffic::Actor> actor;
+  Timestamp start;
+};
+
+/// Constructs group member `member` (= ordinal - group.begin): the one
+/// shared construction path behind eager build, lazy planning (which keeps
+/// only the start time), and lazy materialization (which keeps only the
+/// actor). One code path means the three uses cannot diverge — the RNG
+/// draw order here is the byte-identity contract.
+BuiltActor build_group_member(const ScenarioSpec& spec,
+                              const traffic::SiteModel& site,
+                              const ActorGroup& group, int member,
+                              std::uint64_t salt) {
+  const Timestamp end = spec.end();
+  const auto& vhost = spec.vhosts[group.vhost];
+  Rng rng = spec_actor_rng(spec, salt);
+  const auto id = static_cast<std::uint32_t>(salt + 1);
+  switch (group.kind) {
+    case GroupKind::kCrawler: {
+      traffic::CrawlerActor::Config cc;
+      cc.crawl_gap_mean_s = vhost.crawler_gap_mean_s;
+      cc.end_time = end;
+      const Ipv4 ip(66, 249,
+                    static_cast<std::uint8_t>(64 + (member / 200) % 8),
+                    static_cast<std::uint8_t>(10 + member % 200));
+      auto actor = std::make_unique<traffic::CrawlerActor>(
+          site, cc, ip, std::string(traffic::sample_crawler_ua(rng)), rng,
+          id);
+      return {std::move(actor),
+              spec.start + seconds_to_micros(rng.uniform(0.0, 60.0))};
+    }
+    case GroupKind::kMonitor: {
+      traffic::MonitorActor::Config mc;
+      mc.period_s = vhost.monitor_period_s;
+      mc.end_time = end;
+      const Ipv4 ip(63, 143,
+                    static_cast<std::uint8_t>(42 + (member / 16) % 8),
+                    static_cast<std::uint8_t>(240 + member % 16));
+      auto actor =
+          std::make_unique<traffic::MonitorActor>(site, mc, ip, rng, id);
+      return {std::move(actor),
+              spec.start + seconds_to_micros(
+                               rng.uniform(0.0, vhost.monitor_period_s))};
+    }
+    case GroupKind::kFleetFast: {
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::aggressive_fleet_profile();
+      profile.ip = fleet_ip(group.campaign, member);
+      // Per-bot UA identity: half spoof current browsers, the rest leak
+      // automation markers (mirrors the mixed tooling of real botnets).
+      const double ua_roll = rng.uniform();
+      if (ua_roll < 0.45) {
+        profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      } else if (ua_roll < 0.55) {
+        profile.user_agent =
+            std::string(traffic::sample_stale_browser_ua(rng));
+      } else if (ua_roll < 0.80) {
+        profile.user_agent = std::string(traffic::sample_script_ua(rng));
+      } else {
+        profile.user_agent = std::string(traffic::sample_headless_ua(rng));
+      }
+      apply_overrides(profile, attack);
+      profile.lifetime_requests = attack.lifetime_requests;
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, pause, attack.ramp_days)};
+    }
+    case GroupKind::kFleetSlow: {
+      // Slow members: below the behavioural floor, inside the flagged
+      // subnets. They keep their sub-threshold archetype timing — fleet
+      // overrides apply to the fast members only.
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::slow_fleet_member_profile();
+      profile.ip = slow_fleet_ip(group.campaign, member);
+      profile.user_agent = std::string(
+          rng.bernoulli(0.3) ? traffic::sample_stale_browser_ua(rng)
+                             : traffic::sample_browser_ua(rng));
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, 43'200.0, attack.ramp_days)};
+    }
+    case GroupKind::kStealth: {
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::stealth_scraper_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, pause, attack.ramp_days)};
+    }
+    case GroupKind::kApiClean: {
+      // Clean-IP flavour (the in-house tool's catch).
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::api_clean_poller_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, pause, attack.ramp_days)};
+    }
+    case GroupKind::kApiFleet: {
+      // Fleet flavour (the commercial tool's catch): parks on the attack's
+      // own campaign /16 at high host addresses.
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::api_fleet_poller_profile();
+      profile.ip =
+          Ipv4(campaign_base(group.campaign).value() |
+               (250u + static_cast<std::uint32_t>(member) % 5));
+      profile.user_agent = std::string(traffic::sample_script_ua(rng));
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, 28'800.0, attack.ramp_days)};
+    }
+    case GroupKind::kMalformed: {
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::malformed_scraper_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, pause, attack.ramp_days)};
+    }
+    case GroupKind::kCaching: {
+      const auto& attack = vhost.attacks[group.attack];
+      traffic::BotProfile profile = traffic::caching_scraper_profile();
+      profile.ip = traffic::sample_clean_ip(rng);
+      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
+      apply_overrides(profile, attack);
+      const double pause = profile.pause_mean_s;
+      auto actor = std::make_unique<traffic::ScraperBot>(
+          site, std::move(profile), end, rng, id);
+      return {std::move(actor),
+              spec_start_time(spec, rng, pause, attack.ramp_days)};
+    }
+  }
+  return {nullptr, spec.start};  // unreachable
+}
+
 /// Builds partition `partition` of `partitions` for one spec: walks the
-/// whole population in a fixed order, claims every actor whose global
-/// ordinal lands on this partition, and registers it with the generator.
-/// The walk itself is partition-independent (ordinals and campaign indices
-/// advance identically everywhere); only construction is filtered.
+/// whole population in a fixed order (via the shared group table), claims
+/// every actor whose global ordinal lands on this partition, and registers
+/// it with the generator — eagerly constructed, or as a deferred cookie
+/// when `lazy` (the construction draws still happen once here, because the
+/// start time is the last draw of the construction sequence; the actor
+/// object is dropped and rebuilt on arrival).
 class PopulationBuilder {
  public:
   PopulationBuilder(
       const ScenarioSpec& spec,
       const std::vector<std::unique_ptr<traffic::SiteModel>>& sites,
+      const std::vector<ActorGroup>& groups, bool lazy,
       std::size_t partitions, std::size_t partition,
       traffic::TrafficGenerator& gen)
       : spec_(spec),
         sites_(sites),
+        groups_(groups),
+        lazy_(lazy),
         partitions_(partitions),
         partition_(partition),
         gen_(gen) {
@@ -108,46 +378,27 @@ class PopulationBuilder {
   }
 
   void build() {
+    std::size_t gi = 0;
     for (std::size_t v = 0; v < spec_.vhosts.size(); ++v) {
       add_humans(v);
-      add_benign_bots(v);
-      for (const auto& attack : spec_.vhosts[v].attacks) {
-        const int campaign0 = campaign_cursor_;
-        campaign_cursor_ += campaigns_of(attack);
-        add_attack(v, attack, campaign0);
-      }
+      for (; gi < groups_.size() && groups_[gi].vhost == v; ++gi)
+        add_group(groups_[gi]);
     }
   }
 
  private:
-  static int campaigns_of(const AttackSpec& attack) noexcept {
-    if (attack.kind == AttackKind::kFleet) return attack.campaigns;
-    if (attack.kind == AttackKind::kApiPollers) return 1;
-    return 0;
-  }
-
-  /// Claims the next global actor ordinal into `salt`; true when this
-  /// partition owns the actor. Must be called exactly once per potential
-  /// actor, owned or not.
-  bool claim(std::uint64_t& salt) noexcept {
-    salt = ordinal_++;
-    return salt % partitions_ == partition_;
-  }
-
-  [[nodiscard]] Rng actor_rng(std::uint64_t salt) const noexcept {
-    return Rng(mix_seed(mix_seed(spec_.seed, kActorSalt), salt));
-  }
-
-  /// First-session time: an explicit onboarding ramp spreads arrivals over
-  /// `ramp_days`; otherwise the archetype stagger (uniform over one pause,
-  /// capped at half the scenario so short runs still see everyone).
-  [[nodiscard]] Timestamp start_time(Rng& rng, double pause_s,
-                                     double ramp_days) const {
-    const double duration_s = spec_.duration_days * 24.0 * 3600.0;
-    const double window_s =
-        ramp_days > 0.0 ? std::min(ramp_days * 24.0 * 3600.0, duration_s)
-                        : std::min(pause_s, duration_s / 2.0);
-    return spec_.start + seconds_to_micros(rng.uniform(0.0, window_s));
+  void add_group(const ActorGroup& g) {
+    const auto& site = *sites_[g.vhost];
+    for (std::uint64_t ord = g.begin; ord < g.end; ++ord) {
+      if (ord % partitions_ != partition_) continue;
+      auto built = build_group_member(spec_, site, g,
+                                      static_cast<int>(ord - g.begin), ord);
+      if (lazy_) {
+        gen_.add_lazy_actor(ord, built.start);
+      } else {
+        gen_.add_actor(std::move(built.actor), built.start, g.vhost);
+      }
+    }
   }
 
   void add_humans(std::size_t v) {
@@ -239,223 +490,17 @@ class PopulationBuilder {
           *site, human_config, ip,
           std::string(traffic::sample_browser_ua(rng)), rng, id);
     };
+    humans.vhost = static_cast<std::uint32_t>(v);
     gen_.add_arrivals(std::move(humans), spec_.start);
-  }
-
-  void add_benign_bots(std::size_t v) {
-    const auto& vhost = spec_.vhosts[v];
-    const auto& site = *sites_[v];
-    const Timestamp end = spec_.end();
-    for (int i = 0; i < scaled(vhost.crawlers, spec_.scale); ++i) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::CrawlerActor::Config cc;
-      cc.crawl_gap_mean_s = vhost.crawler_gap_mean_s;
-      cc.end_time = end;
-      const Ipv4 ip(66, 249, static_cast<std::uint8_t>(64 + (i / 200) % 8),
-                    static_cast<std::uint8_t>(10 + i % 200));
-      auto actor = std::make_unique<traffic::CrawlerActor>(
-          site, cc, ip, std::string(traffic::sample_crawler_ua(rng)), rng,
-          actor_id(salt));
-      gen_.add_actor(std::move(actor),
-                     spec_.start + seconds_to_micros(rng.uniform(0.0, 60.0)));
-    }
-    for (int i = 0; i < scaled(vhost.monitors, spec_.scale); ++i) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::MonitorActor::Config mc;
-      mc.period_s = vhost.monitor_period_s;
-      mc.end_time = end;
-      const Ipv4 ip(63, 143, static_cast<std::uint8_t>(42 + (i / 16) % 8),
-                    static_cast<std::uint8_t>(240 + i % 16));
-      gen_.add_actor(
-          std::make_unique<traffic::MonitorActor>(site, mc, ip, rng,
-                                                  actor_id(salt)),
-          spec_.start +
-              seconds_to_micros(rng.uniform(0.0, vhost.monitor_period_s)));
-    }
-  }
-
-  void add_attack(std::size_t v, const AttackSpec& attack, int campaign0) {
-    switch (attack.kind) {
-      case AttackKind::kFleet:
-        add_fleet(v, attack, campaign0);
-        break;
-      case AttackKind::kStealth:
-        add_stealth(v, attack);
-        break;
-      case AttackKind::kApiPollers:
-        add_api_pollers(v, attack, campaign0);
-        break;
-      case AttackKind::kMalformed:
-        add_malformed(v, attack);
-        break;
-      case AttackKind::kCaching:
-        add_caching(v, attack);
-        break;
-    }
-  }
-
-  void add_fleet(std::size_t v, const AttackSpec& attack, int campaign0) {
-    const auto& site = *sites_[v];
-    const Timestamp end = spec_.end();
-    const int bots = scaled(attack.bots, spec_.scale);
-    const int slow = scaled(attack.slow_bots, spec_.scale);
-    for (int c = 0; c < attack.campaigns; ++c) {
-      for (int b = 0; b < bots; ++b) {
-        std::uint64_t salt = 0;
-        const bool mine = claim(salt);
-        if (!mine) continue;
-        Rng rng = actor_rng(salt);
-        traffic::BotProfile profile = traffic::aggressive_fleet_profile();
-        profile.ip = fleet_ip(campaign0 + c, b);
-        // Per-bot UA identity: half spoof current browsers, the rest leak
-        // automation markers (mirrors the mixed tooling of real botnets).
-        const double ua_roll = rng.uniform();
-        if (ua_roll < 0.45) {
-          profile.user_agent = std::string(traffic::sample_browser_ua(rng));
-        } else if (ua_roll < 0.55) {
-          profile.user_agent =
-              std::string(traffic::sample_stale_browser_ua(rng));
-        } else if (ua_roll < 0.80) {
-          profile.user_agent = std::string(traffic::sample_script_ua(rng));
-        } else {
-          profile.user_agent = std::string(traffic::sample_headless_ua(rng));
-        }
-        apply_overrides(profile, attack);
-        profile.lifetime_requests = attack.lifetime_requests;
-        const double pause = profile.pause_mean_s;
-        auto actor = std::make_unique<traffic::ScraperBot>(
-            site, std::move(profile), end, rng, actor_id(salt));
-        gen_.add_actor(std::move(actor),
-                       start_time(rng, pause, attack.ramp_days));
-      }
-      // Slow members: below the behavioural floor, inside the flagged
-      // subnets. They keep their sub-threshold archetype timing — fleet
-      // overrides apply to the fast members only.
-      for (int b = 0; b < slow; ++b) {
-        std::uint64_t salt = 0;
-        if (!claim(salt)) continue;
-        Rng rng = actor_rng(salt);
-        traffic::BotProfile profile = traffic::slow_fleet_member_profile();
-        profile.ip = slow_fleet_ip(campaign0 + c, b);
-        profile.user_agent = std::string(
-            rng.bernoulli(0.3) ? traffic::sample_stale_browser_ua(rng)
-                               : traffic::sample_browser_ua(rng));
-        auto actor = std::make_unique<traffic::ScraperBot>(
-            site, std::move(profile), end, rng, actor_id(salt));
-        gen_.add_actor(std::move(actor),
-                       start_time(rng, 43'200.0, attack.ramp_days));
-      }
-    }
-  }
-
-  void add_stealth(std::size_t v, const AttackSpec& attack) {
-    const auto& site = *sites_[v];
-    const Timestamp end = spec_.end();
-    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::BotProfile profile = traffic::stealth_scraper_profile();
-      profile.ip = traffic::sample_clean_ip(rng);
-      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
-      apply_overrides(profile, attack);
-      const double pause = profile.pause_mean_s;
-      auto actor = std::make_unique<traffic::ScraperBot>(
-          site, std::move(profile), end, rng, actor_id(salt));
-      gen_.add_actor(std::move(actor),
-                     start_time(rng, pause, attack.ramp_days));
-    }
-  }
-
-  void add_api_pollers(std::size_t v, const AttackSpec& attack,
-                       int campaign0) {
-    const auto& site = *sites_[v];
-    const Timestamp end = spec_.end();
-    // Clean-IP flavour (the in-house tool's catch).
-    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::BotProfile profile = traffic::api_clean_poller_profile();
-      profile.ip = traffic::sample_clean_ip(rng);
-      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
-      apply_overrides(profile, attack);
-      const double pause = profile.pause_mean_s;
-      auto actor = std::make_unique<traffic::ScraperBot>(
-          site, std::move(profile), end, rng, actor_id(salt));
-      gen_.add_actor(std::move(actor),
-                     start_time(rng, pause, attack.ramp_days));
-    }
-    // Fleet flavour (the commercial tool's catch): parks on the attack's
-    // own campaign /16 at high host addresses.
-    for (int b = 0; b < scaled(attack.fleet_bots, spec_.scale); ++b) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::BotProfile profile = traffic::api_fleet_poller_profile();
-      profile.ip = Ipv4(campaign_base(campaign0).value() |
-                        (250u + static_cast<std::uint32_t>(b) % 5));
-      profile.user_agent = std::string(traffic::sample_script_ua(rng));
-      auto actor = std::make_unique<traffic::ScraperBot>(
-          site, std::move(profile), end, rng, actor_id(salt));
-      gen_.add_actor(std::move(actor),
-                     start_time(rng, 28'800.0, attack.ramp_days));
-    }
-  }
-
-  void add_malformed(std::size_t v, const AttackSpec& attack) {
-    const auto& site = *sites_[v];
-    const Timestamp end = spec_.end();
-    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::BotProfile profile = traffic::malformed_scraper_profile();
-      profile.ip = traffic::sample_clean_ip(rng);
-      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
-      apply_overrides(profile, attack);
-      const double pause = profile.pause_mean_s;
-      auto actor = std::make_unique<traffic::ScraperBot>(
-          site, std::move(profile), end, rng, actor_id(salt));
-      gen_.add_actor(std::move(actor),
-                     start_time(rng, pause, attack.ramp_days));
-    }
-  }
-
-  void add_caching(std::size_t v, const AttackSpec& attack) {
-    const auto& site = *sites_[v];
-    const Timestamp end = spec_.end();
-    for (int b = 0; b < scaled(attack.bots, spec_.scale); ++b) {
-      std::uint64_t salt = 0;
-      if (!claim(salt)) continue;
-      Rng rng = actor_rng(salt);
-      traffic::BotProfile profile = traffic::caching_scraper_profile();
-      profile.ip = traffic::sample_clean_ip(rng);
-      profile.user_agent = std::string(traffic::sample_browser_ua(rng));
-      apply_overrides(profile, attack);
-      const double pause = profile.pause_mean_s;
-      auto actor = std::make_unique<traffic::ScraperBot>(
-          site, std::move(profile), end, rng, actor_id(salt));
-      gen_.add_actor(std::move(actor),
-                     start_time(rng, pause, attack.ramp_days));
-    }
-  }
-
-  [[nodiscard]] static std::uint32_t actor_id(std::uint64_t salt) noexcept {
-    return static_cast<std::uint32_t>(salt + 1);
   }
 
   const ScenarioSpec& spec_;
   const std::vector<std::unique_ptr<traffic::SiteModel>>& sites_;
+  const std::vector<ActorGroup>& groups_;
+  bool lazy_;
   std::size_t partitions_;
   std::size_t partition_;
   traffic::TrafficGenerator& gen_;
-  std::uint64_t ordinal_ = 0;    ///< global actor ordinal (walk-stable)
-  int campaign_cursor_ = 0;      ///< global /16 allocation (walk-stable)
   int total_campaigns_ = 0;
 };
 
@@ -501,6 +546,7 @@ WorkloadEngine::WorkloadEngine(ScenarioSpec spec, EngineConfig config)
   sites_.reserve(spec_.vhosts.size());
   for (const auto& vhost : spec_.vhosts)
     sites_.push_back(std::make_unique<traffic::SiteModel>(vhost.site));
+  groups_ = build_group_table(spec_);
   parts_.reserve(config_.partitions);
   for (std::size_t p = 0; p < config_.partitions; ++p) {
     parts_.push_back(std::make_unique<Partition>());
@@ -523,9 +569,46 @@ WorkloadEngine::~WorkloadEngine() {
 
 void WorkloadEngine::build_partition(Partition& part) const {
   part.gen = std::make_unique<traffic::TrafficGenerator>(spec_.end());
-  PopulationBuilder(spec_, sites_, config_.partitions, part.index, *part.gen)
+  if (config_.lazy_actors) {
+    part.gen->set_materializer(
+        [this](std::uint64_t cookie) { return materialize(cookie); });
+  }
+  PopulationBuilder(spec_, sites_, groups_, config_.lazy_actors,
+                    config_.partitions, part.index, *part.gen)
       .build();
   part.built = true;
+}
+
+traffic::TrafficGenerator::Materialized WorkloadEngine::materialize(
+    std::uint64_t cookie) const {
+  // Reads only immutable state (spec_, groups_, sites_) — safe from any
+  // worker thread concurrently.
+  const auto it = std::upper_bound(
+      groups_.begin(), groups_.end(), cookie,
+      [](std::uint64_t c, const ActorGroup& g) { return c < g.end; });
+  const ActorGroup& g = *it;
+  auto built = build_group_member(spec_, *sites_[g.vhost], g,
+                                  static_cast<int>(cookie - g.begin), cookie);
+  return {std::move(built.actor), g.vhost};
+}
+
+std::uint64_t static_population(const ScenarioSpec& spec) {
+  const auto groups = build_group_table(spec);
+  return groups.empty() ? 0 : groups.back().end;
+}
+
+std::uint64_t WorkloadEngine::actors_created() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& part : parts_)
+    if (part->gen) total += part->gen->actors_created();
+  return total;
+}
+
+std::size_t WorkloadEngine::peak_live_actors() const noexcept {
+  std::size_t total = 0;
+  for (const auto& part : parts_)
+    if (part->gen) total += part->gen->peak_live_actors();
+  return total;
 }
 
 void WorkloadEngine::generate_window(Partition& part, Timestamp horizon,
@@ -630,6 +713,7 @@ void WorkloadEngine::merge_window(int buf, const RecordSink& sink) {
   }
   std::make_heap(heap.begin(), heap.end(), after);
   while (!heap.empty()) {
+    if (stop_requested()) return;  // cancel at a record boundary
     std::pop_heap(heap.begin(), heap.end(), after);
     const Head head = heap.back();
     heap.pop_back();
@@ -689,6 +773,7 @@ std::uint64_t WorkloadEngine::run(const RecordSink& sink) {
         break;
       }
     }
+    if (stop_requested()) more = false;
     if (more) {
       // Pipeline: round w+1 generates into the other buffer while this
       // thread merges round w.

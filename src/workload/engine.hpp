@@ -43,6 +43,7 @@
 // tokens.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -50,6 +51,7 @@
 
 #include "httplog/record.hpp"
 #include "httplog/timestamp.hpp"
+#include "traffic/generator.hpp"
 #include "traffic/site.hpp"
 #include "util/interner.hpp"
 #include "workload/scenario_spec.hpp"
@@ -67,7 +69,23 @@ struct EngineConfig {
   std::size_t partitions = 8;
   /// Simulated-time merge window. Smaller = less buffering, more rounds.
   std::int64_t window_us = httplog::kMicrosPerHour;
+  /// Lazy actor materialization: scripted (non-human) actors are built on
+  /// their first scheduled arrival and freed at lifetime end, so partition
+  /// memory tracks the concurrently-live population instead of the spec
+  /// totals — what makes megasite-class specs (>= 1M distinct actors)
+  /// feasible. Output is byte-identical to the eager path for every spec
+  /// and thread count (the contract workload_engine tests pin); the cost is
+  /// a second construction pass per actor, so it defaults off for the
+  /// small catalog entries.
+  bool lazy_actors = false;
 };
+
+/// Total scripted (non-human) actors a spec materializes over its run, at
+/// its own scale — the number that decides whether lazy_actors is worth it.
+[[nodiscard]] std::uint64_t static_population(const ScenarioSpec& spec);
+
+/// Ordinal-range descriptor of one scripted-actor group (engine internal).
+struct ActorGroup;
 
 class WorkloadEngine {
  public:
@@ -85,6 +103,14 @@ class WorkloadEngine {
   /// exactly once; returns the number of records emitted.
   std::uint64_t run(const RecordSink& sink);
 
+  /// Cooperative cancellation (signal-handler driven): run() stops merging
+  /// at the next record boundary, finishes the in-flight worker round, and
+  /// returns what was emitted so far. Safe to call from any thread.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
@@ -92,9 +118,19 @@ class WorkloadEngine {
   [[nodiscard]] std::size_t distinct_user_agents() const noexcept {
     return ua_tokens_.size();
   }
+  /// Actors actually constructed across all partitions (spawned humans +
+  /// materialized or eager scripted actors).
+  [[nodiscard]] std::uint64_t actors_created() const noexcept;
+  /// Sum of per-partition concurrently-live high-water marks — the bound
+  /// on resident actor state (distinct-actor count does not appear here;
+  /// that is the point of lazy materialization).
+  [[nodiscard]] std::size_t peak_live_actors() const noexcept;
 
  private:
   struct Partition;
+
+  [[nodiscard]] traffic::TrafficGenerator::Materialized materialize(
+      std::uint64_t cookie) const;
 
   void build_partition(Partition& part) const;
   static void generate_window(Partition& part, httplog::Timestamp horizon,
@@ -111,10 +147,15 @@ class WorkloadEngine {
   std::vector<std::unique_ptr<traffic::SiteModel>> sites_;
 
   std::vector<std::unique_ptr<Partition>> parts_;
+  /// Ordinal-range table of every scripted actor group, in walk order —
+  /// what the lazy materializer maps a cookie (global ordinal) back to a
+  /// (vhost, group kind, member) identity with.
+  std::vector<ActorGroup> groups_;
   util::StringInterner ua_tokens_;  ///< engine-global token space
   std::vector<std::vector<std::uint32_t>> token_remap_;  ///< per partition
   std::uint64_t emitted_ = 0;
   bool ran_ = false;
+  std::atomic<bool> stop_{false};
 
   // Worker-pool round coordination (see engine.cpp).
   struct Pool;

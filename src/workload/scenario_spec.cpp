@@ -39,6 +39,7 @@ void write_site(core::JsonWriter& json,
   json.key("asset_count").value(std::uint64_t{site.asset_count});
   json.key("api_no_content_p").value_exact(site.api_no_content_p);
   json.key("server_error_p").value_exact(site.server_error_p);
+  json.key("zipf_table_cap").value(std::uint64_t{site.zipf_table_cap});
   json.end_object();
 }
 
@@ -80,6 +81,8 @@ bool read_site(const core::JsonValue& v, traffic::SiteModel::Config& site,
   site.api_no_content_p =
       v.number_or("api_no_content_p", site.api_no_content_p);
   site.server_error_p = v.number_or("server_error_p", site.server_error_p);
+  site.zipf_table_cap = static_cast<std::size_t>(
+      v.u64_or("zipf_table_cap", site.zipf_table_cap));
   if (site.catalogue_size < 1)
     return set_error(error, "site.catalogue_size must be >= 1");
   if (site.city_pairs < 1)
@@ -204,6 +207,7 @@ bool operator==(const VhostSpec& a, const VhostSpec& b) noexcept {
          a.site.asset_count == b.site.asset_count &&
          a.site.api_no_content_p == b.site.api_no_content_p &&
          a.site.server_error_p == b.site.server_error_p &&
+         a.site.zipf_table_cap == b.site.zipf_table_cap &&
          a.humans == b.humans && a.crawlers == b.crawlers &&
          a.crawler_gap_mean_s == b.crawler_gap_mean_s &&
          a.monitors == b.monitors &&

@@ -31,7 +31,11 @@
 //           "city_pairs": 400,
 //           "asset_count": 28,
 //           "api_no_content_p": 0.28,
-//           "server_error_p": 8e-06
+//           "server_error_p": 8e-06,
+//           "zipf_table_cap": 0            // 0 = exact O(catalogue) table;
+//                                          // > 0 bounds the popularity
+//                                          // table (megasite; tail sampled
+//                                          // by continuous approximation)
 //         },
 //         "humans": {
 //           "arrivals_per_s": 0.0253,          // sessions/s at scale 1.0
@@ -75,6 +79,20 @@
 // missing vhosts, a bad attack kind, or out-of-range numerics fail the
 // load with a one-line diagnostic. Round-trip is loss-free: load(dump(s))
 // compares equal to s for every valid spec.
+//
+// ## Lazy-actor contract
+//
+// Population counts in a spec are *distinct actors over the run*, not live
+// objects: the WorkloadEngine materializes each scripted actor on its first
+// scheduled arrival and retires it (frees its state, recycles its slot) as
+// soon as its lifetime ends, so a partition's resident memory tracks the
+// concurrently-active population, not the spec totals. This is a pure
+// implementation detail with a hard guarantee: for any spec, lazy and eager
+// materialization produce byte-identical output at every thread count
+// (per-actor RNG streams are seeded by global ordinal, and the event heap
+// orders by time only, so slot identity never influences emission or
+// ua_token minting order). Megasite-class specs (>= 1M distinct actors)
+// rely on this plus `site.zipf_table_cap` to keep memory flat.
 #pragma once
 
 #include <cstdint>

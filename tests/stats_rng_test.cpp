@@ -217,6 +217,88 @@ TEST_P(ZipfRangeTest, SamplesStayInRange) {
 INSTANTIATE_TEST_SUITE_P(Sizes, ZipfRangeTest,
                          ::testing::Values(1, 2, 10, 1000, 50'000));
 
+TEST(Zipf, CappedTableKeepsHeadMassExact) {
+  // A capped table (megasite catalogues) must agree with the exact O(n)
+  // table on every tabled rank — head draws and the head/tail split are
+  // exact by contract; only the within-tail shape is approximated.
+  constexpr std::size_t kN = 100'000;
+  constexpr std::size_t kCap = 64;
+  ZipfDistribution exact(kN, 1.1);
+  ZipfDistribution capped(kN, 1.1, kCap);
+  EXPECT_EQ(exact.table_size(), kN);
+  EXPECT_EQ(capped.table_size(), kCap);
+  EXPECT_EQ(capped.size(), kN);
+  for (std::size_t k = 1; k <= kCap; ++k) {
+    ASSERT_NEAR(capped.pmf(k), exact.pmf(k), 1e-12) << "rank " << k;
+  }
+}
+
+TEST(Zipf, CappedPmfSumsToOne) {
+  constexpr std::size_t kN = 20'000;
+  ZipfDistribution capped(kN, 1.05, 128);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= kN; ++k) total += capped.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, CappedSamplesCoverHeadAndTailInRange) {
+  constexpr std::size_t kN = 50'000;
+  constexpr std::size_t kCap = 32;
+  ZipfDistribution capped(kN, 1.1, kCap);
+  Rng rng(77);
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto k = capped.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, kN);
+    (k <= kCap ? head : tail) += 1;
+  }
+  // Both regimes of the sampler must actually be exercised, and the
+  // head/tail split must match the exact tabled head mass.
+  EXPECT_GT(head, 1'000);
+  EXPECT_GT(tail, 1'000);
+  double head_mass = 0.0;
+  for (std::size_t k = 1; k <= kCap; ++k) head_mass += capped.pmf(k);
+  EXPECT_NEAR(static_cast<double>(head) / (head + tail), head_mass, 0.01);
+}
+
+TEST(Zipf, CappedHeadFrequenciesMatchPmf) {
+  constexpr std::size_t kN = 10'000;
+  constexpr std::size_t kCap = 16;
+  ZipfDistribution capped(kN, 1.2, kCap);
+  Rng rng(99);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(kCap + 1, 0);
+  int tail = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto k = capped.sample(rng);
+    if (k <= kCap) {
+      ++counts[k];
+    } else {
+      ++tail;
+    }
+  }
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kDraws, capped.pmf(k), 0.01)
+        << "rank " << k;
+  }
+  double tail_mass = 0.0;
+  for (std::size_t k = kCap + 1; k <= kN; ++k) tail_mass += capped.pmf(k);
+  EXPECT_NEAR(static_cast<double>(tail) / kDraws, tail_mass, 0.01);
+}
+
+TEST(Zipf, CapAtOrAboveNIsExact) {
+  ZipfDistribution uncapped(100, 0.9);
+  ZipfDistribution capped(100, 0.9, 500);
+  EXPECT_EQ(capped.table_size(), 100u);
+  Rng a(11);
+  Rng b(11);
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_EQ(capped.sample(a), uncapped.sample(b));
+  }
+}
+
 TEST(Pareto, SupportAndMean) {
   ParetoDistribution pareto(2.0, 3.0);
   Rng rng(43);

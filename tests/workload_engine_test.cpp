@@ -33,10 +33,11 @@ struct Capture {
 };
 
 Capture run_capture(const workload::ScenarioSpec& spec, std::size_t threads,
-                    std::size_t partitions = 8) {
+                    std::size_t partitions = 8, bool lazy = false) {
   workload::EngineConfig config;
   config.gen_threads = threads;
   config.partitions = partitions;
+  config.lazy_actors = lazy;
   workload::WorkloadEngine engine(spec, config);
   Capture capture;
   const auto emitted = engine.run([&capture](httplog::LogRecord&& record) {
@@ -169,6 +170,78 @@ TEST(WorkloadEngine, SurgeProducesABurst) {
       ++quiet_window;
   }
   EXPECT_GT(surge_window, 10 * std::max<std::uint64_t>(quiet_window, 1));
+}
+
+TEST(WorkloadEngine, LazyActorsAreByteIdenticalToEager) {
+  // The megasite enabler: deferred construction + slot pooling must be
+  // invisible in the output — bytes AND sidecar stream — at every thread
+  // count, on both a single-vhost and a multi-vhost spec.
+  const auto check = [](const workload::ScenarioSpec& spec) {
+    const auto eager = run_capture(spec, 2);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const auto lazy = run_capture(spec, threads, 8, /*lazy=*/true);
+      ASSERT_EQ(eager.clf, lazy.clf);
+      ASSERT_EQ(eager.records.size(), lazy.records.size());
+      for (std::size_t i = 0; i < eager.records.size(); ++i) {
+        ASSERT_EQ(eager.records[i].ua_token, lazy.records[i].ua_token) << i;
+        ASSERT_EQ(eager.records[i].actor_id, lazy.records[i].actor_id) << i;
+        ASSERT_EQ(eager.records[i].vhost, lazy.records[i].vhost) << i;
+      }
+    }
+  };
+  check(smoke_spec());
+  auto multi = *workload::catalog_entry("mixed_multi_vhost", 0.02);
+  multi.duration_days = 0.25;
+  check(multi);
+}
+
+TEST(WorkloadEngine, LazyModeBoundsLiveActorsOnChurn) {
+  // On a churn-shaped spec (finite lifetimes, day-long ramp) the live
+  // high-water mark must sit far below the distinct population.
+  const auto spec = *workload::catalog_entry("megasite", 0.002);
+  ASSERT_TRUE(workload::static_population(spec) > 1'000u);
+  workload::EngineConfig config;
+  config.gen_threads = 4;
+  config.lazy_actors = true;
+  workload::WorkloadEngine engine(spec, config);
+  std::uint64_t emitted = 0;
+  (void)engine.run([&emitted](httplog::LogRecord&&) { ++emitted; });
+  EXPECT_GT(emitted, 1'000u);
+  EXPECT_GT(engine.actors_created(), 0u);
+  EXPECT_LT(engine.peak_live_actors(), engine.actors_created());
+}
+
+TEST(WorkloadEngine, MegasitePopulationIsMillionScale) {
+  const auto spec = *workload::catalog_entry("megasite", 1.0);
+  EXPECT_GE(workload::static_population(spec), 1'000'000u);
+  EXPECT_EQ(spec.vhosts.size(), 4u);
+}
+
+TEST(WorkloadEngine, VhostSidecarRoutesMultiVhostStreams) {
+  auto spec = *workload::catalog_entry("mixed_multi_vhost", 0.02);
+  spec.duration_days = 0.25;
+  const auto capture = run_capture(spec, 2);
+  std::set<std::uint32_t> vhosts;
+  for (const auto& record : capture.records) {
+    ASSERT_LT(record.vhost, spec.vhosts.size());
+    vhosts.insert(record.vhost);
+  }
+  EXPECT_EQ(vhosts.size(), spec.vhosts.size());
+  // Single-vhost streams stay all-zero.
+  for (const auto& record : run_capture(smoke_spec(), 1).records)
+    ASSERT_EQ(record.vhost, 0u);
+}
+
+TEST(WorkloadEngine, RequestStopEndsRunEarly) {
+  auto spec = smoke_spec();
+  workload::WorkloadEngine engine(spec, {});
+  std::uint64_t seen = 0;
+  (void)engine.run([&](httplog::LogRecord&&) {
+    if (++seen == 100) engine.request_stop();
+  });
+  const auto full = run_capture(spec, 1).records.size();
+  EXPECT_GE(seen, 100u);
+  EXPECT_LT(seen, full);
 }
 
 TEST(WorkloadEngine, RunIsSingleUse) {

@@ -8,6 +8,8 @@
 //   divscrape tables    [opts]   regenerate the paper's four tables
 //   divscrape export    [opts]   run the experiment, emit JSON results
 //   divscrape label     <log>    heuristically label a CLF file (paper §V)
+//   divscrape soak      [scenario]  chaos soak: closed generate->tail loop
+//                                under scripted faults (default: megasite)
 //
 // Common options:
 //   --config <file>     key=value config (see core/config.hpp header)
@@ -27,9 +29,22 @@
 //   --out <file>        write the merged stream as a CLF log (batched
 //                       writev writer); default without --out/--detect is
 //                       CLF on stdout
+//   --out-multi <dir>   write one CLF log per vhost under <dir> (the
+//                       deployment shape `tail` ingests); SIGINT flushes
+//                       and closes every log cleanly
+//   --lazy              force lazy actor materialization (auto-enabled for
+//                       megasite-class specs)
 //   --detect            feed the stream to the sentinel+arcane pair and
 //                       print the joint summary
 //   --shards <n>        with --detect: sharded detection on n workers
+//
+// Soak options (see pipeline/chaos.hpp for the full contract):
+//   --out <dir>         work directory (live logs, shadows, checkpoints;
+//                       default soak_run)
+//   --bench <file>      machine-readable report (default BENCH_soak.json)
+//   --smoke             CI-sized run: --scale 0.01 + tight persist cadence
+//   --chaos-seed <n>    fault schedule seed
+//   --rss-limit-mb <n>  RSS high-water bound (default 4096)
 //
 // Tail options:
 //   --checkpoint <file>   resume from / persist an ingest checkpoint
@@ -48,6 +63,9 @@
 //   --results <file>      periodically flush JointResults JSON (atomic
 //                         rename; sharded mode writes it once at exit)
 //   --flush-every <n>     flush results/checkpoint every n parsed records
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -72,6 +90,7 @@
 #include "detectors/sentinel.hpp"
 #include "httplog/io.hpp"
 #include "pipeline/alert_log.hpp"
+#include "pipeline/chaos.hpp"
 #include "pipeline/checkpoint.hpp"
 #include "pipeline/multi_tailer.hpp"
 #include "pipeline/replay.hpp"
@@ -99,10 +118,16 @@ struct CliOptions {
   std::string checkpoint_dir;
   std::string results_path;
   std::string out_path;
+  std::string out_multi_dir;
+  std::string bench_path;
   bool follow = false;
   bool detect = false;
   bool list = false;
   bool dump_spec = false;
+  bool lazy = false;
+  bool smoke = false;
+  std::uint64_t chaos_seed = 0xC4A05ULL;
+  double rss_limit_mb = 4096.0;
   int poll_ms = 200;
   int reorder_ms = 2000;
   std::size_t shards = 1;
@@ -116,10 +141,13 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: divscrape "
-      "<generate|simulate|analyze|tail|tables|export|label> [options]\n"
+      "<generate|simulate|analyze|tail|tables|export|label|soak> [options]\n"
       "  simulate <scenario|spec.json> [--list] [--dump-spec]\n"
-      "           [--gen-threads <n>] [--partitions <n>]\n"
-      "           [--out <file>] [--detect] [--shards <n>]\n"
+      "           [--gen-threads <n>] [--partitions <n>] [--lazy]\n"
+      "           [--out <file>] [--out-multi <dir>] [--detect] "
+      "[--shards <n>]\n"
+      "  soak     [scenario] [--out <dir>] [--bench <file>] [--smoke]\n"
+      "           [--chaos-seed <n>] [--rss-limit-mb <n>]\n"
       "  --config <file>       load key=value configuration\n"
       "  --set k=v             inline config override (repeatable)\n"
       "  --scale <s>           scenario scale in (0,1]\n"
@@ -214,6 +242,30 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* path = next();
       if (!path) return false;
       opts.out_path = path;
+    } else if (arg == "--out-multi") {
+      const char* path = next();
+      if (!path) return false;
+      opts.out_multi_dir = path;
+    } else if (arg == "--bench") {
+      const char* path = next();
+      if (!path) return false;
+      opts.bench_path = path;
+    } else if (arg == "--lazy") {
+      opts.lazy = true;
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--chaos-seed") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      opts.chaos_seed = std::strtoull(n, &end, 10);
+      if (end == n || *end != '\0') return false;
+    } else if (arg == "--rss-limit-mb") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      opts.rss_limit_mb = std::strtod(n, &end);
+      if (end == n || *end != '\0') return false;
     } else if (arg == "--gen-threads") {
       const char* n = next();
       if (!n) return false;
@@ -284,6 +336,10 @@ int cmd_generate(const CliOptions& opts) {
 
 void print_detector_summary(const core::JointResults& r);
 
+volatile std::sig_atomic_t g_tail_interrupted = 0;
+
+void tail_sigint(int) { g_tail_interrupted = 1; }
+
 /// Resolves the simulate positional: a catalog name first, then a spec
 /// file. The catalog wins on a name collision (rename the file).
 std::optional<workload::ScenarioSpec> resolve_spec(const CliOptions& opts) {
@@ -332,18 +388,38 @@ int cmd_simulate(const CliOptions& opts) {
   workload::EngineConfig engine_config;
   engine_config.gen_threads = opts.gen_threads;
   if (opts.partitions != 0) engine_config.partitions = opts.partitions;
+  // Megasite-class specs only fit in memory lazily; small ones skip the
+  // second construction pass (see EngineConfig::lazy_actors).
+  engine_config.lazy_actors =
+      opts.lazy || workload::static_population(*spec) >= 200'000;
   workload::WorkloadEngine engine(std::move(*spec), engine_config);
 
-  // Compose the sink: an optional CLF writer (file, or stdout when neither
-  // --out nor --detect asked for anything else) plus an optional detector
-  // pair (sequential joiner or sharded pipeline). Engine-stamped tokens
-  // are globally consistent, so detectors consume records as-is.
+  // Compose the sink: an optional CLF writer (file, per-vhost directory,
+  // or stdout when neither --out nor --detect asked for anything else)
+  // plus an optional detector pair (sequential joiner or sharded
+  // pipeline). Engine-stamped tokens are globally consistent, so
+  // detectors consume records as-is.
   std::unique_ptr<traffic::StreamWriter> file_writer;
   if (!opts.out_path.empty()) {
     file_writer = std::make_unique<traffic::StreamWriter>(
         opts.out_path, traffic::StreamWriter::FaultPlan(), 512);
   }
-  const bool stdout_log = opts.out_path.empty() && !opts.detect;
+  std::vector<std::unique_ptr<traffic::StreamWriter>> vhost_writers;
+  if (!opts.out_multi_dir.empty()) {
+    if (::mkdir(opts.out_multi_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "simulate: cannot create %s\n",
+                   opts.out_multi_dir.c_str());
+      return 1;
+    }
+    for (std::size_t v = 0; v < engine.spec().vhosts.size(); ++v) {
+      vhost_writers.push_back(std::make_unique<traffic::StreamWriter>(
+          opts.out_multi_dir + "/v" + std::to_string(v) + "_" +
+              engine.spec().vhosts[v].name + ".log",
+          traffic::StreamWriter::FaultPlan(), 512));
+    }
+  }
+  const bool stdout_log =
+      opts.out_path.empty() && opts.out_multi_dir.empty() && !opts.detect;
   httplog::LogWriter stdout_writer(std::cout);
 
   std::vector<std::unique_ptr<detectors::Detector>> pool;
@@ -359,10 +435,20 @@ int cmd_simulate(const CliOptions& opts) {
     }
   }
 
+  // A long generation run must be interruptible without shearing a log
+  // mid-line: SIGINT requests a cooperative stop at the next record
+  // boundary and every writer below gets its normal flush-and-close.
+  std::signal(SIGINT, tail_sigint);
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t records =
       engine.run([&](httplog::LogRecord&& record) {
+        if (g_tail_interrupted) engine.request_stop();
         if (file_writer) file_writer->write(record);
+        if (!vhost_writers.empty()) {
+          const std::size_t v =
+              record.vhost < vhost_writers.size() ? record.vhost : 0;
+          vhost_writers[v]->write(record);
+        }
         if (stdout_log) stdout_writer.write(record);
         if (joiner) {
           (void)joiner->process(record);
@@ -371,6 +457,7 @@ int cmd_simulate(const CliOptions& opts) {
         }
       });
   if (file_writer) file_writer->flush();
+  for (auto& writer : vhost_writers) writer->flush();
   std::optional<core::JointResults> sharded_results;
   if (sharded) sharded_results = sharded->finish();
   const double wall =
@@ -392,6 +479,12 @@ int cmd_simulate(const CliOptions& opts) {
     print_detector_summary(joiner->results());
   } else if (sharded_results) {
     print_detector_summary(*sharded_results);
+  }
+  if (g_tail_interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: stopped at a record boundary, all logs "
+                 "flushed and closed\n");
+    return 130;
   }
   return 0;
 }
@@ -456,10 +549,6 @@ int cmd_analyze(const CliOptions& opts) {
   }
   return 0;
 }
-
-volatile std::sig_atomic_t g_tail_interrupted = 0;
-
-void tail_sigint(int) { g_tail_interrupted = 1; }
 
 /// Atomic results flush: SOC dashboards read the file while we rewrite it,
 /// so the document replaces the previous one in a single rename.
@@ -826,6 +915,81 @@ int cmd_tail(const CliOptions& opts) {
   return 0;
 }
 
+/// Chaos soak: the closed generate->tail loop under scripted faults (see
+/// pipeline/chaos.hpp). Exit status is the verdict — nonzero unless every
+/// record was ingested exactly once, results matched the batch-replay
+/// reference byte for byte, every kill resumed warm and RSS stayed bounded.
+int cmd_soak(CliOptions opts) {
+  if (opts.input.empty()) opts.input = "megasite";
+  if (opts.smoke && !opts.config.get("scenario.scale").has_value()) {
+    opts.config.set("scenario.scale", "0.01");
+  }
+  auto spec = resolve_spec(opts);
+  if (!spec) return 1;
+
+  pipeline::ChaosConfig config;
+  config.spec = std::move(*spec);
+  config.work_dir = opts.out_path.empty() ? "soak_run" : opts.out_path;
+  config.chaos_seed = opts.chaos_seed;
+  config.gen_threads = opts.gen_threads > 1 ? opts.gen_threads : 4;
+  if (opts.partitions != 0) config.partitions = opts.partitions;
+  config.rss_limit_mb = opts.rss_limit_mb;
+  config.verbose = true;
+  // Smoke runs are ~1% of the records, so the persist cadence tightens in
+  // step: several warm cuts must still land between any two fault epochs.
+  if (opts.smoke) config.persist_every_records = 5'000;
+
+  std::fprintf(stderr,
+               "soak: \"%s\" scale %.3g, %zu vhosts, %d fault epochs, "
+               "chaos seed %llu, work dir %s\n",
+               config.spec.name.c_str(), config.spec.scale,
+               config.spec.vhosts.size(), config.fault_epochs,
+               static_cast<unsigned long long>(config.chaos_seed),
+               config.work_dir.c_str());
+  const auto report = pipeline::run_chaos_soak(config);
+
+  const std::string bench_path =
+      opts.bench_path.empty() ? "BENCH_soak.json" : opts.bench_path;
+  if (!pipeline::write_chaos_bench(config, report, bench_path)) {
+    std::fprintf(stderr, "soak: cannot write %s\n", bench_path.c_str());
+  }
+
+  std::printf(
+      "soak %s: %s records (%llu scripted drops), %llu faults "
+      "(%llu rotations, %llu truncations, %llu torn, %llu enospc, %llu "
+      "short-write bursts, %llu kills), %llu warm / %llu cold resumes, "
+      "%llu checkpoints\n",
+      report.passed ? "PASSED" : "FAILED",
+      core::with_thousands(report.records_generated).c_str(),
+      static_cast<unsigned long long>(report.records_dropped),
+      static_cast<unsigned long long>(report.faults),
+      static_cast<unsigned long long>(report.rotations),
+      static_cast<unsigned long long>(report.truncations),
+      static_cast<unsigned long long>(report.torn_writes),
+      static_cast<unsigned long long>(report.enospc_faults),
+      static_cast<unsigned long long>(report.short_write_bursts),
+      static_cast<unsigned long long>(report.kills),
+      static_cast<unsigned long long>(report.warm_resumes),
+      static_cast<unsigned long long>(report.cold_resumes),
+      static_cast<unsigned long long>(report.checkpoints_persisted));
+  std::printf(
+      "  exactly-once: %llu lost, %llu duplicated; results %s reference; "
+      "peak RSS %.1f MiB (%s %.0f MiB limit); %.1fs wall "
+      "(%s records/s); report: %s\n",
+      static_cast<unsigned long long>(report.lost_records),
+      static_cast<unsigned long long>(report.duplicate_records),
+      report.results_identical ? "byte-identical to" : "DIVERGED from",
+      static_cast<double>(report.rss_peak_kb) / 1024.0,
+      report.rss_within_limit ? "within" : "OVER",
+      config.rss_limit_mb,
+      report.wall_seconds,
+      core::with_thousands(
+          static_cast<std::uint64_t>(report.records_per_s))
+          .c_str(),
+      bench_path.c_str());
+  return report.passed ? 0 : 1;
+}
+
 int cmd_tables(const CliOptions& opts) {
   core::ExperimentConfig config;
   config.scenario = scenario_from(opts.config);
@@ -939,5 +1103,6 @@ int main(int argc, char** argv) {
   if (opts.command == "tables") return cmd_tables(opts);
   if (opts.command == "export") return cmd_export(opts);
   if (opts.command == "label") return cmd_label(opts);
+  if (opts.command == "soak") return cmd_soak(opts);
   return usage();
 }
