@@ -43,11 +43,36 @@ void BM_ClfFormat(benchmark::State& state) {
 }
 BENCHMARK(BM_ClfFormat);
 
-void BM_ClfParse(benchmark::State& state) {
+void BM_ClfFormatStreaming(benchmark::State& state) {
+  // The production emit shape: one warm ClfFormatter appending into a
+  // reused buffer (time memo hot, no per-record string).
   const auto& records = sample_records();
-  std::vector<std::string> lines;
-  lines.reserve(records.size());
-  for (const auto& r : records) lines.push_back(httplog::format_clf(r));
+  httplog::ClfFormatter formatter;
+  std::string buf;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    buf.clear();
+    formatter.append(records[i], buf);
+    benchmark::DoNotOptimize(buf.data());
+    i = (i + 1) % records.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClfFormatStreaming);
+
+const std::vector<std::string>& sample_lines() {
+  static const auto lines = [] {
+    const auto& records = sample_records();
+    std::vector<std::string> out;
+    out.reserve(records.size());
+    for (const auto& r : records) out.push_back(httplog::format_clf(r));
+    return out;
+  }();
+  return lines;
+}
+
+void BM_ClfParse(benchmark::State& state) {
+  const auto& lines = sample_lines();
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(httplog::parse_clf(lines[i]));
@@ -56,6 +81,37 @@ void BM_ClfParse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ClfParse);
+
+void BM_ClfParseStreaming(benchmark::State& state) {
+  // The production ingest shape: one warm ClfParser decoding into a reused
+  // record (timestamp memo + string capacities hot) — what LineDecoder and
+  // LogReader actually run per line.
+  const auto& lines = sample_lines();
+  httplog::ClfParser parser;
+  httplog::LogRecord rec;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.parse(lines[i], rec));
+    benchmark::DoNotOptimize(rec.status);
+    i = (i + 1) % lines.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClfParseStreaming);
+
+void BM_ClfParseReference(benchmark::State& state) {
+  // The pre-SWAR oracle parser — the "before" row the fast-path rows are
+  // compared against (and what the differential fuzz suite checks them
+  // against for correctness).
+  const auto& lines = sample_lines();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(httplog::parse_clf_reference(lines[i]));
+    i = (i + 1) % lines.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClfParseReference);
 
 void BM_SentinelEvaluate(benchmark::State& state) {
   const auto& records = sample_records();

@@ -9,7 +9,75 @@
 
 #include "bench_common.hpp"
 #include "detectors/registry.hpp"
+#include "httplog/clf.hpp"
 #include "pipeline/sharded.hpp"
+
+namespace {
+
+// Parse-path rows, identity-gated: before any timing, every corpus line must
+// get the same verdict from the fast parser and the reference oracle AND
+// re-format to identical bytes — a wrong-but-fast parser reports failure
+// here instead of a flattering number.
+bool add_parse_runs(const divscrape::traffic::ScenarioConfig& scenario,
+                    std::vector<divscrape::bench::ThroughputRun>& runs) {
+  using namespace divscrape;
+  constexpr std::size_t kMaxLines = 300'000;
+  std::vector<std::string> lines;
+  {
+    traffic::Scenario gen(scenario);
+    httplog::ClfFormatter formatter;
+    httplog::LogRecord r;
+    std::string buf;
+    while (lines.size() < kMaxLines && gen.next(r)) {
+      buf.clear();
+      formatter.append(r, buf);
+      lines.push_back(buf);
+    }
+  }
+
+  httplog::ClfParser parser;
+  httplog::LogRecord rec;
+  for (const auto& line : lines) {
+    const auto ref = httplog::parse_clf_reference(line);
+    const bool fast_ok =
+        parser.parse(line, rec) == httplog::ClfError::kNone;
+    if (!ref.ok() || !fast_ok ||
+        httplog::format_clf(*ref.record) != httplog::format_clf(rec)) {
+      std::fprintf(stderr, "parse identity gate FAILED on: %s\n",
+                   line.c_str());
+      return false;
+    }
+  }
+
+  const auto time_passes = [&](auto&& parse_one, std::size_t passes) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t parsed = 0;
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (const auto& line : lines) parsed += parse_one(line);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::pair<std::uint64_t, double>(parsed, wall);
+  };
+
+  const auto [ref_n, ref_wall] = time_passes(
+      [](const std::string& line) {
+        return httplog::parse_clf_reference(line).ok() ? 1u : 0u;
+      },
+      1);
+  runs.push_back({"parse_reference", 0, ref_n, ref_wall});
+
+  const auto [fast_n, fast_wall] = time_passes(
+      [&](const std::string& line) {
+        return parser.parse(line, rec) == httplog::ClfError::kNone ? 1u : 0u;
+      },
+      4);
+  runs.push_back({"parse_fast", 0, fast_n, fast_wall});
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace divscrape;
@@ -38,6 +106,8 @@ int main(int argc, char** argv) {
             .count();
     runs.push_back({"sharded", shards, results.total_requests(), wall});
   }
+
+  if (!add_parse_runs(scenario, runs)) return 1;
 
   std::printf("  %-12s %8s %12s %14s %14s\n", "mode", "shards", "wall(s)",
               "records/s", "ns/record");

@@ -18,6 +18,7 @@ void ArcaneDetector::reset() {
   local_uas_.clear();
   paths_.clear();
   evaluations_ = 0;
+  last_state_ = nullptr;
 }
 
 void ArcaneDetector::prune(ClientState& state, Timestamp now) {
@@ -44,6 +45,7 @@ void ArcaneDetector::maybe_sweep(Timestamp now) {
   for (auto it = clients_.begin(); it != clients_.end();) {
     it = it->second.last_seen < cutoff ? clients_.erase(it) : std::next(it);
   }
+  last_state_ = nullptr;  // erase may have freed the memoized node
 }
 
 namespace {
@@ -210,8 +212,13 @@ Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {
   const Timestamp now = record.time;
   maybe_sweep(now);
 
-  auto& state = clients_[httplog::SessionKey{
-      record.ip, httplog::ua_key_token(record, local_uas_)}];
+  const httplog::SessionKey key{record.ip,
+                                httplog::ua_key_token(record, local_uas_)};
+  if (last_state_ == nullptr || key != last_key_) {
+    last_state_ = &clients_[key];
+    last_key_ = key;
+  }
+  ClientState& state = *last_state_;
   state.last_seen = now;
   if (!state.ua_classified) {
     const auto ua = httplog::classify_user_agent(record.user_agent);

@@ -131,6 +131,12 @@ class ArcaneDetector final : public Detector {
   /// degrade to the seed's hash-token behaviour.
   httplog::PathTemplateMemo paths_{std::size_t{1} << 20};
   std::uint64_t evaluations_ = 0;
+  /// One-entry client memo: bursty traffic hits the same session on
+  /// consecutive records, skipping the clients_ probe. The pointer is safe
+  /// to cache because unordered_map nodes are stable across insert/rehash;
+  /// it is dropped whenever the sweep erases (reset() covers load_state).
+  httplog::SessionKey last_key_{};
+  ClientState* last_state_ = nullptr;
 };
 
 }  // namespace divscrape::detectors

@@ -5,20 +5,20 @@ namespace divscrape::httplog {
 bool LogReader::next(LogRecord& out) {
   while (std::getline(*in_, line_)) {
     ++lines_;
-    auto result = parse_clf(line_);
-    if (result.ok()) {
-      out = std::move(*result.record);
-      return true;
-    }
+    const ClfError error = parser_.parse(line_, out);
+    if (error == ClfError::kNone) return true;
     ++skipped_;
-    const auto idx = static_cast<std::size_t>(result.error);
+    const auto idx = static_cast<std::size_t>(error);
     if (idx < skip_counts_.size()) ++skip_counts_[idx];
   }
   return false;
 }
 
 void LogWriter::write(const LogRecord& record) {
-  *out_ << format_clf(record) << '\n';
+  buf_.clear();
+  formatter_.append(record, buf_);
+  buf_ += '\n';
+  out_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
   ++written_;
 }
 

@@ -36,6 +36,7 @@ class LogReader {
 
  private:
   std::istream* in_;
+  ClfParser parser_;  ///< keeps the timestamp memo warm across lines
   std::string line_;
   std::uint64_t lines_ = 0;
   std::uint64_t skipped_ = 0;
@@ -55,6 +56,8 @@ class LogWriter {
 
  private:
   std::ostream* out_;
+  ClfFormatter formatter_;
+  std::string buf_;  ///< reused wire buffer
   std::uint64_t written_ = 0;
 };
 

@@ -36,7 +36,16 @@ struct LogRecord {
   std::string target = "/";         ///< request target: path[?query]
   std::string protocol = "HTTP/1.1";
   int status = 200;                 ///< response status (%>s)
-  std::uint64_t bytes = 0;          ///< response body size (%b); 0 logs "-"
+  std::uint64_t bytes = 0;          ///< response body size (%b)
+  /// %b dash sentinel. Apache logs "-" for a no-body response and "0" for a
+  /// zero-length body; both parse to bytes == 0, so this flag carries the
+  /// wire distinction: format_clf writes "-" only when bytes == 0 AND
+  /// bytes_dash is set. parse_clf sets it to match the wire exactly
+  /// (literal "0" clears it), making parse -> format byte-stable. Defaults
+  /// true so a default 0 keeps logging "-" (the Apache convention and this
+  /// repo's historical output); set bytes = 0, bytes_dash = false for a
+  /// literal zero.
+  bool bytes_dash = true;
   std::string referer = "-";        ///< Referer header, "-" when absent
   std::string user_agent = "-";     ///< User-Agent header, "-" when absent
 

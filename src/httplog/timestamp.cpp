@@ -50,6 +50,23 @@ bool parse_fixed_int(std::string_view text, std::size_t pos, std::size_t len,
   return ec == std::errc{} && next == begin + len;
 }
 
+constexpr bool is_leap_year(int y) noexcept {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+constexpr int days_in_month(int year, int month) noexcept {
+  constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[month - 1];
+}
+
+void write_digits(char* out, int value, int width) noexcept {
+  for (int i = width - 1; i >= 0; --i) {
+    out[i] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  }
+}
+
 }  // namespace
 
 Timestamp Timestamp::from_civil(int year, int month, int day, int hour,
@@ -62,6 +79,10 @@ Timestamp Timestamp::from_civil(int year, int month, int day, int hour,
 }
 
 std::string Timestamp::to_clf() const {
+  char buf[kClfChars];
+  if (to_clf_chars(buf)) return std::string(buf, kClfChars);
+  // Year outside 0..9999: fall back to the variable-width formatter. The
+  // month names are string literals, so .data() is NUL-terminated.
   std::int64_t days = micros_ / kMicrosPerDay;
   std::int64_t rem = micros_ % kMicrosPerDay;
   if (rem < 0) {
@@ -70,14 +91,46 @@ std::string Timestamp::to_clf() const {
   }
   int y = 0, m = 0, d = 0;
   civil_from_days(days, y, m, d);
-  const int hour = static_cast<int>(rem / kMicrosPerHour);
-  const int minute = static_cast<int>((rem / kMicrosPerMinute) % 60);
-  const int second = static_cast<int>((rem / kMicrosPerSecond) % 60);
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%02d/%s/%04d:%02d:%02d:%02d +0000", d,
-                std::string(kMonths[static_cast<std::size_t>(m - 1)]).c_str(),
-                y, hour, minute, second);
-  return buf;
+  char wide[48];
+  std::snprintf(wide, sizeof wide, "%02d/%s/%04d:%02d:%02d:%02d +0000", d,
+                kMonths[static_cast<std::size_t>(m - 1)].data(), y,
+                static_cast<int>(rem / kMicrosPerHour),
+                static_cast<int>((rem / kMicrosPerMinute) % 60),
+                static_cast<int>((rem / kMicrosPerSecond) % 60));
+  return wide;
+}
+
+bool Timestamp::to_clf_chars(char* out) const noexcept {
+  std::int64_t days = micros_ / kMicrosPerDay;
+  std::int64_t rem = micros_ % kMicrosPerDay;
+  if (rem < 0) {
+    rem += kMicrosPerDay;
+    --days;
+  }
+  int y = 0, m = 0, d = 0;
+  civil_from_days(days, y, m, d);
+  if (y < 0 || y > 9999) return false;
+  write_digits(out, d, 2);
+  out[2] = '/';
+  const std::string_view mon = kMonths[static_cast<std::size_t>(m - 1)];
+  out[3] = mon[0];
+  out[4] = mon[1];
+  out[5] = mon[2];
+  out[6] = '/';
+  write_digits(out + 7, y, 4);
+  out[11] = ':';
+  write_digits(out + 12, static_cast<int>(rem / kMicrosPerHour), 2);
+  out[14] = ':';
+  write_digits(out + 15, static_cast<int>((rem / kMicrosPerMinute) % 60), 2);
+  out[17] = ':';
+  write_digits(out + 18, static_cast<int>((rem / kMicrosPerSecond) % 60), 2);
+  out[20] = ' ';
+  out[21] = '+';
+  out[22] = '0';
+  out[23] = '0';
+  out[24] = '0';
+  out[25] = '0';
+  return true;
 }
 
 std::string Timestamp::to_iso8601() const {
@@ -125,8 +178,18 @@ std::optional<Timestamp> parse_clf_time(std::string_view text) noexcept {
   if (!parse_fixed_int(text, 22, 2, tz_hour) ||
       !parse_fixed_int(text, 24, 2, tz_min))
     return std::nullopt;
-  if (day < 1 || day > 31 || hour > 23 || minute > 59 || second > 60)
+  // Real calendar validation: Feb 31 must not silently normalize through
+  // days_from_civil into a March date. :60 seconds stay tolerated (leap
+  // seconds appear in real logs). Timezone offsets are bounded to the
+  // ±14:00 range that exists on Earth (UTC+14 is the maximum, Kiribati);
+  // "+9959" is a corrupt field, not a timezone.
+  if (year < 0 || hour < 0 || minute < 0 || second < 0 || tz_hour < 0 ||
+      tz_min < 0)
+    return std::nullopt;  // from_chars accepts "-1" inside a fixed width
+  if (day < 1 || day > days_in_month(year, month) || hour > 23 ||
+      minute > 59 || second > 60)
     return std::nullopt;
+  if (tz_min > 59 || tz_hour * 60 + tz_min > 14 * 60) return std::nullopt;
 
   Timestamp local =
       Timestamp::from_civil(year, month, day, hour, minute, second);

@@ -35,9 +35,19 @@ class Timestamp {
     return static_cast<double>(micros_) / 1e6;
   }
 
+  /// Width of the CLF representation: "dd/Mon/yyyy:HH:MM:SS +0000".
+  static constexpr std::size_t kClfChars = 26;
+
   /// CLF representation without brackets: "11/Mar/2018:06:25:24 +0000".
   /// Always renders UTC.
   [[nodiscard]] std::string to_clf() const;
+
+  /// Writes exactly kClfChars bytes of the CLF representation into `out`
+  /// (no NUL terminator) — the allocation-free form the streaming encoder
+  /// memoizes. Returns false without writing when the year falls outside
+  /// 0..9999 (not representable in the fixed-width layout; callers fall
+  /// back to to_clf()).
+  [[nodiscard]] bool to_clf_chars(char* out) const noexcept;
 
   /// ISO-8601 "2018-03-11T06:25:24Z" (second resolution), for reports.
   [[nodiscard]] std::string to_iso8601() const;

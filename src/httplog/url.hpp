@@ -85,7 +85,13 @@ class PathTemplateMemo {
       : max_strings_(max_strings) {}
 
   /// The template token for `path` (also interns the path itself).
+  /// Consecutive calls with the same path (polling and cache-sweep bots
+  /// hammer one URL) hit a one-entry memo: a memcmp instead of a hash.
   [[nodiscard]] std::uint32_t template_token(std::string_view path) {
+    if (last_path_tok_ != util::StringInterner::kInvalidToken &&
+        path == ids_.lookup(last_path_tok_)) {
+      return template_of_path_[last_path_tok_ - 1];
+    }
     std::uint32_t path_tok = ids_.find(path);
     if (path_tok == util::StringInterner::kInvalidToken) {
       if (!has_room()) return overflow_template_token(path);
@@ -105,6 +111,7 @@ class PathTemplateMemo {
       }
       slot = tmpl_tok;
     }
+    last_path_tok_ = path_tok;
     return slot;
   }
 
@@ -118,6 +125,7 @@ class PathTemplateMemo {
     ids_.clear();
     template_of_path_.clear();
     distinct_paths_ = 0;
+    last_path_tok_ = util::StringInterner::kInvalidToken;
   }
 
   /// Dump/restore of the memo (strings in token order + the path→template
@@ -167,6 +175,8 @@ class PathTemplateMemo {
   std::vector<std::uint32_t> template_of_path_;  ///< path token-1 -> template
   std::size_t distinct_paths_ = 0;
   std::size_t max_strings_ = 0;
+  /// One-entry template_token() memo (path token of the previous call).
+  std::uint32_t last_path_tok_ = util::StringInterner::kInvalidToken;
 };
 
 }  // namespace divscrape::httplog

@@ -13,14 +13,13 @@ void LineDecoder::decode_line(std::string_view line) {
   ++stats_.lines;
   const bool spanned_boundary = partial_spans_boundary_;
   partial_spans_boundary_ = false;
-  auto result = httplog::parse_clf(line);
-  if (!result.ok()) {
+  if (parser_.parse(line, scratch_) != httplog::ClfError::kNone) {
     ++stats_.skipped;
     if (spanned_boundary) ++boundary_skips_;
     return;
   }
   ++stats_.parsed;
-  on_record_(std::move(*result.record));
+  on_record_(std::move(scratch_));
 }
 
 std::uint64_t LineDecoder::feed(std::string_view chunk) {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <string_view>
 
+#include "httplog/clf.hpp"
 #include "httplog/framing.hpp"
 #include "httplog/record.hpp"
 
@@ -97,6 +98,12 @@ class LineDecoder {
   void decode_line(std::string_view line);
 
   httplog::LineFramer framer_;
+  httplog::ClfParser parser_;  ///< streaming parser: timestamp memo stays warm
+  /// Parse target handed to on_record_ by rvalue. Consumers that only read
+  /// (ReplayEngine::process_record) leave the strings' capacity behind for
+  /// the next line; consumers that move (sharded/merge sinks) simply pay the
+  /// allocation they always paid.
+  httplog::LogRecord scratch_;
   RecordFn on_record_;
   ReplayStats stats_;
   bool partial_spans_boundary_ = false;

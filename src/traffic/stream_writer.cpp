@@ -1,14 +1,10 @@
 #include "traffic/stream_writer.hpp"
 
 #include <fcntl.h>
-#include <sys/uio.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <cstdio>
-
-#include "httplog/clf.hpp"
 
 namespace divscrape::traffic {
 
@@ -51,62 +47,25 @@ void StreamWriter::raw_write(const char* data, std::size_t size) {
 }
 
 void StreamWriter::flush() {
-  if (pending_.empty()) return;
+  if (pending_ends_.empty()) return;
   if (plan_.write_fn) {
     // A seam is installed: route every byte through it, line by line, so
     // scripted short-write/EINTR/ENOSPC faults see the same stream the
-    // kernel would.
-    std::vector<std::string> lines;
-    lines.swap(pending_);
-    for (const auto& line : lines) raw_write(line.data(), line.size());
-    return;
-  }
-  // One writev per IOV_MAX-sized slice: each queued line is its own iovec,
-  // so the kernel copies straight from the encoded strings with no
-  // concatenation pass.
-  static constexpr std::size_t kMaxIov = 1024;
-  std::vector<iovec> iov;
-  iov.reserve(pending_.size() < kMaxIov ? pending_.size() : kMaxIov);
-  std::size_t start = 0;
-  while (start < pending_.size() && fd_ >= 0) {
-    iov.clear();
-    std::size_t slice_bytes = 0;
-    const std::size_t end =
-        std::min(pending_.size(), start + kMaxIov);
-    for (std::size_t i = start; i < end; ++i) {
-      iov.push_back({const_cast<char*>(pending_[i].data()),
-                     pending_[i].size()});
-      slice_bytes += pending_[i].size();
-    }
-    const ssize_t n = ::writev(fd_, iov.data(), static_cast<int>(iov.size()));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ++write_errors_;
-      last_errno_ = errno;
-      for (std::size_t i = start; i < pending_.size(); ++i)
-        dropped_bytes_ += pending_[i].size();
-      break;  // disk-level failure: drop the rest
-    }
-    bytes_ += static_cast<std::uint64_t>(n);
-    if (static_cast<std::size_t>(n) == slice_bytes) {
+    // kernel would (one raw_write call per queued line, as the unbatched
+    // mode would have issued).
+    std::size_t start = 0;
+    for (const std::size_t end : pending_ends_) {
+      raw_write(pending_buf_.data() + start, end - start);
       start = end;
-      continue;
     }
-    // Partial writev: finish the straddled line with the write() loop,
-    // then resume vectored writes from the next whole line.
-    std::size_t written = static_cast<std::size_t>(n);
-    std::size_t i = start;
-    while (written >= pending_[i].size()) {
-      written -= pending_[i].size();
-      ++i;
-    }
-    const std::string& straddled = pending_[i];
-    const char* rest = straddled.data() + written;
-    const std::size_t rest_size = straddled.size() - written;
-    raw_write(rest, rest_size);
-    start = i + 1;
+  } else {
+    // The pending lines are already contiguous, so the whole burst is one
+    // write(2) (raw_write retries EINTR/short writes; a disk-level failure
+    // drops the rest of the burst into dropped_bytes_).
+    raw_write(pending_buf_.data(), pending_buf_.size());
   }
-  pending_.clear();
+  pending_buf_.clear();
+  pending_ends_.clear();
 }
 
 void StreamWriter::write_bytes(std::string_view bytes) {
@@ -122,21 +81,28 @@ void StreamWriter::write_line(std::string_view line, std::string_view ending) {
 
 void StreamWriter::write(const httplog::LogRecord& record) {
   ++records_;
-  std::string wire = httplog::format_clf(record);
   const bool crlf = plan_.crlf_every != 0 && records_ % plan_.crlf_every == 0;
-  wire += crlf ? "\r\n" : "\n";
   const bool torn = plan_.tear_every != 0 && records_ % plan_.tear_every == 0;
-  if (torn && wire.size() >= 2) {
-    // Split anywhere strictly inside the line, CRLF interior included.
-    const auto cut = static_cast<std::size_t>(
-        rng_.uniform_int(1, static_cast<std::int64_t>(wire.size()) - 1));
-    write_bytes(std::string_view(wire).substr(0, cut));
-    write_bytes(std::string_view(wire).substr(cut));
-  } else if (batch_lines_ > 0) {
-    pending_.push_back(std::move(wire));
-    if (pending_.size() >= batch_lines_) flush();
+  if (batch_lines_ > 0 && !torn) {
+    // Encode straight into the contiguous pending buffer; no per-record
+    // string materializes at all on the batched hot path.
+    formatter_.append(record, pending_buf_);
+    pending_buf_ += crlf ? "\r\n" : "\n";
+    pending_ends_.push_back(pending_buf_.size());
+    if (pending_ends_.size() >= batch_lines_) flush();
   } else {
-    raw_write(wire.data(), wire.size());
+    wire_.clear();
+    formatter_.append(record, wire_);
+    wire_ += crlf ? "\r\n" : "\n";
+    if (torn && wire_.size() >= 2) {
+      // Split anywhere strictly inside the line, CRLF interior included.
+      const auto cut = static_cast<std::size_t>(
+          rng_.uniform_int(1, static_cast<std::int64_t>(wire_.size()) - 1));
+      write_bytes(std::string_view(wire_).substr(0, cut));
+      write_bytes(std::string_view(wire_).substr(cut));
+    } else {
+      raw_write(wire_.data(), wire_.size());
+    }
   }
   if (plan_.rotate_every != 0 && records_ % plan_.rotate_every == 0) {
     rotate(path_ + "." + std::to_string(++rotation_count_));

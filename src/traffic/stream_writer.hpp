@@ -19,10 +19,11 @@
 //
 // In the default unbatched mode (`batch_lines` 0) every write reaches the
 // OS immediately: the whole point is that a concurrent reader observes
-// every intermediate state. With `batch_lines` > 0 encoded lines are
-// queued and flushed `batch_lines` at a time with one writev(2) — one
-// syscall instead of N, which is what makes the live-loop benches
-// writer-bound no longer. Batching never reorders bytes: every fault
+// every intermediate state. With `batch_lines` > 0 lines are encoded
+// straight into one contiguous pending buffer (line boundaries kept as end
+// offsets for the fault seam) and flushed `batch_lines` at a time with one
+// write(2) — one syscall instead of N, which is what makes the live-loop
+// benches writer-bound no longer. Batching never reorders bytes: every fault
 // injection and every explicit byte-level control flushes the queue first,
 // so the on-disk byte sequence is identical in both modes (the *timing* of
 // visibility is the only difference). flush() forces the queue out; the
@@ -34,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "httplog/clf.hpp"
 #include "httplog/pacer.hpp"
 #include "httplog/record.hpp"
 #include "stats/rng.hpp"
@@ -77,8 +79,9 @@ class StreamWriter {
   /// queues the line (faults force the queue out first).
   void write(const httplog::LogRecord& record);
 
-  /// Writes out every queued line with writev(2). No-op when the queue is
-  /// empty (always, in unbatched mode).
+  /// Writes out the pending buffer (one write(2) burst; line-by-line when a
+  /// write_fn seam is installed). No-op when the buffer is empty (always,
+  /// in unbatched mode).
   void flush();
 
   /// Pumps up to `max_records` from the scenario through write(). With
@@ -136,7 +139,10 @@ class StreamWriter {
   stats::Rng rng_;
   int fd_ = -1;
   std::size_t batch_lines_;
-  std::vector<std::string> pending_;  ///< queued complete lines (batched)
+  httplog::ClfFormatter formatter_;  ///< per-second time memo stays warm
+  std::string wire_;        ///< scratch line for the unbatched/torn paths
+  std::string pending_buf_; ///< queued encoded lines, contiguous (batched)
+  std::vector<std::size_t> pending_ends_;  ///< end offset of each line
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t write_errors_ = 0;

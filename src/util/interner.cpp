@@ -11,6 +11,12 @@ constexpr std::size_t kInitialSlots = 16;  // power of two
 StringInterner::StringInterner() = default;
 
 std::uint32_t StringInterner::intern(std::string_view text) {
+  // Consecutive interns of the same string (bursty user agents, repeated
+  // path templates) skip the hash entirely: one length check + memcmp.
+  if (last_token_ != kInvalidToken && strings_[last_token_ - 1] == text) {
+    return last_token_;
+  }
+
   // The table is allocated lazily on first intern (Sessions embed an
   // interner each; empty ones must stay byte-cheap) and grows at ~70%
   // load so probe chains stay short.
@@ -29,9 +35,11 @@ std::uint32_t StringInterner::intern(std::string_view text) {
       strings_.emplace_back(text);
       slot.hash = h;
       slot.token = static_cast<std::uint32_t>(strings_.size());
+      last_token_ = slot.token;
       return slot.token;
     }
     if (slot.hash == h && strings_[slot.token - 1] == text) {
+      last_token_ = slot.token;
       return slot.token;
     }
     i = (i + 1) & mask;
@@ -59,6 +67,7 @@ std::string_view StringInterner::lookup(std::uint32_t token) const noexcept {
 void StringInterner::clear() {
   strings_.clear();
   table_.clear();
+  last_token_ = kInvalidToken;
 }
 
 void StringInterner::save_state(StateWriter& w) const {

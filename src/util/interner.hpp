@@ -33,6 +33,8 @@ class StringInterner {
 
   /// Returns the token for `text`, minting the next dense token on first
   /// sight. The only allocation is the one-time copy of a new string.
+  /// Repeating the previous call's string hits a one-entry memo (a single
+  /// compare, no hash) — log traffic stamps the same user-agent in bursts.
   [[nodiscard]] std::uint32_t intern(std::string_view text);
 
   /// The token for `text` if already interned, kInvalidToken otherwise.
@@ -69,6 +71,7 @@ class StringInterner {
 
   std::vector<Slot> table_;        ///< power-of-two open-addressing table
   std::vector<std::string> strings_;  ///< token - 1 -> string
+  std::uint32_t last_token_ = kInvalidToken;  ///< one-entry intern() memo
 };
 
 }  // namespace divscrape::util

@@ -88,6 +88,79 @@ TEST(ClfRoundTrip, SecondGenerationIsStable) {
   EXPECT_GT(checked, 10u);
 }
 
+TEST(ClfRoundTrip, BytesZeroAndDashStayDistinctOnTheWire) {
+  // Regression: format_clf used to emit "-" whenever bytes == 0, collapsing
+  // a literal "0" (zero-length body, e.g. 200 with Content-Length: 0) into
+  // the no-body sentinel on the first re-format. The wire distinction now
+  // rides LogRecord::bytes_dash.
+  const std::string zero_line =
+      R"(1.2.3.4 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 0 )"
+      R"("-" "-")";
+  const std::string dash_line =
+      R"(1.2.3.4 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 304 - )"
+      R"("-" "-")";
+
+  const auto zero = parse_clf(zero_line);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.record->bytes, 0u);
+  EXPECT_FALSE(zero.record->bytes_dash);
+  EXPECT_EQ(format_clf(*zero.record), zero_line);  // "0" survives
+
+  const auto dash = parse_clf(dash_line);
+  ASSERT_TRUE(dash.ok());
+  EXPECT_EQ(dash.record->bytes, 0u);
+  EXPECT_TRUE(dash.record->bytes_dash);
+  EXPECT_EQ(format_clf(*dash.record), dash_line);  // "-" survives
+
+  // Non-zero byte counts ignore the flag entirely.
+  LogRecord rec = *zero.record;
+  rec.bytes = 17;
+  rec.bytes_dash = true;
+  const auto back = parse_clf(format_clf(rec));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.record->bytes, 17u);
+  EXPECT_FALSE(back.record->bytes_dash);
+}
+
+TEST(ClfRoundTrip, IdentUserDashIsTheCanonicalAbsentValue) {
+  // Regression: parse kept the literal "-" while format emitted "-" only
+  // for empty strings, so an empty-string record and a parsed record
+  // compared unequal after one trip. Contract (clf.hpp): the wire token is
+  // kept verbatim by parse, and format normalizes "" -> "-".
+  const std::string line =
+      R"(1.2.3.4 - - [11/Mar/2018:00:00:00 +0000] "GET / HTTP/1.1" 200 1 )"
+      R"("-" "-")";
+  const auto parsed = parse_clf(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.record->ident, "-");
+  EXPECT_EQ(parsed.record->user, "-");
+  EXPECT_EQ(format_clf(*parsed.record), line);
+
+  LogRecord empties = *parsed.record;
+  empties.ident.clear();
+  empties.user.clear();
+  const auto normalized = parse_clf(format_clf(empties));
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_EQ(normalized.record->ident, "-");
+  EXPECT_EQ(normalized.record->user, "-");
+  // One trip reaches the fixed point: the re-parsed record re-formats to
+  // the identical line.
+  EXPECT_EQ(format_clf(*normalized.record), format_clf(empties));
+}
+
+TEST(ClfRoundTrip, FormatAfterParseIsByteStable) {
+  // format(parse(line)) == line for every accepted generated line — the
+  // strong form of the round-trip contract (clf.hpp). The generated corpus
+  // exercises "-" bytes, quoted escapes, and query strings.
+  const auto& records = generate_records();
+  for (std::size_t i = 0; i < records.size(); i += 13) {
+    const std::string line = format_clf(records[i]);
+    const auto parsed = parse_clf(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(format_clf(*parsed.record), line);
+  }
+}
+
 TEST(ClfRoundTrip, ReplayAccountingTracksCorruptedLines) {
   // Corrupt a deterministic ~5% of serialized lines in ways rotated
   // production logs actually exhibit, then check the accounting identity

@@ -74,6 +74,51 @@ INSTANTIATE_TEST_SUITE_P(
                       "11/Mar/2018:06:25:24 0000",
                       "11/Mar/2018:06:25:24 *0000"));
 
+// Impossible civil dates must not silently normalize through the
+// days-from-civil arithmetic into the next month (Feb 31 used to parse as
+// Mar 3), and timezone offsets are bounded to the ±14:00 range that exists.
+INSTANTIATE_TEST_SUITE_P(
+    ImpossibleDates, BadClfTimeTest,
+    ::testing::Values("31/Feb/2018:06:25:24 +0000",
+                      "30/Feb/2018:06:25:24 +0000",
+                      "29/Feb/2018:06:25:24 +0000",  // 2018 is not a leap year
+                      "31/Apr/2018:06:25:24 +0000",
+                      "31/Nov/2018:06:25:24 +0000",
+                      "00/Mar/2018:06:25:24 +0000"));
+
+INSTANTIATE_TEST_SUITE_P(
+    BadTimezones, BadClfTimeTest,
+    ::testing::Values("11/Mar/2018:06:25:24 +9959",
+                      "11/Mar/2018:06:25:24 +1401",
+                      "11/Mar/2018:06:25:24 -1401",
+                      "11/Mar/2018:06:25:24 +0060",
+                      "11/Mar/2018:06:25:24 +1360",
+                      // from_chars would accept an embedded sign.
+                      "11/Mar/2018:06:25:24 +-100",
+                      "11/Mar/2018:0-1:25:24 +0000",
+                      "-1/Mar/2018:06:25:24 +0000"));
+
+TEST(Timestamp, RealCalendarEdgesAccepted) {
+  // Leap day on an actual leap year; the widest real timezone offsets
+  // (UTC+14 Kiribati, UTC-12, the +13:45 Chatham DST offset).
+  EXPECT_TRUE(parse_clf_time("29/Feb/2016:06:25:24 +0000").has_value());
+  EXPECT_TRUE(parse_clf_time("31/Jan/2018:23:59:59 +0000").has_value());
+  EXPECT_TRUE(parse_clf_time("11/Mar/2018:06:25:24 +1400").has_value());
+  EXPECT_TRUE(parse_clf_time("11/Mar/2018:06:25:24 -1400").has_value());
+  EXPECT_TRUE(parse_clf_time("11/Mar/2018:06:25:24 +1345").has_value());
+}
+
+TEST(Timestamp, ToClfCharsMatchesToClf) {
+  const Timestamp t = Timestamp::from_civil(2018, 3, 11, 6, 25, 24);
+  char buf[Timestamp::kClfChars];
+  ASSERT_TRUE(t.to_clf_chars(buf));
+  EXPECT_EQ(std::string(buf, sizeof buf), t.to_clf());
+  // Out-of-range years refuse the fixed-width form but still format.
+  const Timestamp far_future = Timestamp::from_civil(12345, 1, 1);
+  EXPECT_FALSE(far_future.to_clf_chars(buf));
+  EXPECT_EQ(far_future.to_clf(), "01/Jan/12345:00:00:00 +0000");
+}
+
 TEST(Timestamp, ArithmeticAndComparison) {
   const Timestamp a = Timestamp::from_civil(2018, 3, 11);
   const Timestamp b = a + 90 * 1'000'000;
