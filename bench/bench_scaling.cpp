@@ -14,7 +14,9 @@
 int main(int argc, char** argv) {
   using namespace divscrape;
 
-  const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 0.25);
+  const auto args = bench::parse_bench_args(argc, argv, 0.25);
+  const double scale = args.scale;
+  const std::string& json_path = args.json_path;
   const auto scenario = traffic::amadeus_like(scale);
   std::printf("# E11: sharded pipeline scaling, scale=%.3f\n\n", scale);
 

@@ -1,23 +1,37 @@
-// Experiment E6 (the paper's Section V): parallel vs serial deployment of
-// the two tools. Parallel = both monitor all traffic (1oo2 / 2oo2 alert
-// rules). Serial = the first tool filters and the second only analyzes the
-// survivors — cheaper for the second tool, but its behavioural state then
-// evolves from a censored stream, which is why the cascade must actually
-// be executed (not derived from the parallel verdicts).
+// Serial vs parallel, both meanings. Part 1 is the seed's Experiment E6
+// (the paper's Section V): serial vs parallel *deployment topology* of the
+// two tools — parallel = both monitor all traffic (1oo2 / 2oo2), serial =
+// the first tool filters and the second analyzes the survivors, which must
+// actually be executed (not derived) because the second tool's behavioural
+// state then evolves from a censored stream.
 //
-// Each topology gets fresh detector instances and its own pass over the
-// identical scenario stream.
+// Part 2 (PR 9) revives the bench as the scaling harness for the batched
+// pipeline: serial (sequential engine) vs parallel (ShardedPipeline) runs
+// of the SAME deployment across (shards × dispatchers × batch size)
+// combinations. Every timed combo row is identity-gated first — the
+// combo's JointResults must serialize byte-identically to the sequential
+// engine's at a cheap gate scale, and the timed full-scale pass is
+// compared again — so a wrong-but-fast pipeline reports failure here
+// instead of a flattering number. `--json` emits the rows for
+// BENCH_throughput.json.
 //
-// Usage: bench_serial_parallel [scale]   (default 0.2)
+// Usage: bench_serial_parallel [scale] [--json <path>] [--repeat <n>]
+// (default scale 0.2; --repeat N reports min-of-N wall per row — the
+// noise-robust estimator on a shared host)
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/export.hpp"
 #include "core/topology.hpp"
 #include "detectors/arcane.hpp"
+#include "detectors/registry.hpp"
 #include "detectors/sentinel.hpp"
+#include "pipeline/record_batch.hpp"
+#include "pipeline/sharded.hpp"
 
 namespace {
 
@@ -58,13 +72,7 @@ TopologyRun run_topology(const traffic::ScenarioConfig& scenario,
   return run;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.2);
-  const auto scenario = traffic::amadeus_like(scale);
-  std::printf("# E6: parallel vs serial deployment, scale=%.3f\n\n", scale);
-
+void run_e6_topologies(const traffic::ScenarioConfig& scenario) {
   std::vector<TopologyRun> runs;
 
   {  // parallel 1oo2
@@ -83,9 +91,10 @@ int main(int argc, char** argv) {
         scenario,
         std::make_unique<core::ParallelDeployment>(std::move(pool), 2)));
   }
-  {  // serial sentinel -> arcane
-    auto cascade = std::make_unique<core::SerialDeployment>(fresh_sentinel(),
-                                                            fresh_arcane());
+  const auto run_cascade = [&](std::unique_ptr<detectors::Detector> first,
+                               std::unique_ptr<detectors::Detector> second) {
+    auto cascade = std::make_unique<core::SerialDeployment>(std::move(first),
+                                                            std::move(second));
     auto* raw = cascade.get();
     traffic::Scenario source(scenario);
     httplog::LogRecord record;
@@ -102,27 +111,9 @@ int main(int argc, char** argv) {
             .count();
     run.analyzer_load = raw->analyzer_load();
     runs.push_back(std::move(run));
-  }
-  {  // serial arcane -> sentinel
-    auto cascade = std::make_unique<core::SerialDeployment>(fresh_arcane(),
-                                                            fresh_sentinel());
-    auto* raw = cascade.get();
-    traffic::Scenario source(scenario);
-    httplog::LogRecord record;
-    TopologyRun run;
-    run.name = raw->name();
-    const auto t0 = std::chrono::steady_clock::now();
-    while (source.next(record)) {
-      const auto v = cascade->evaluate(record);
-      run.confusion.observe(record.truth, v.alert);
-      ++run.total;
-    }
-    run.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    run.analyzer_load = raw->analyzer_load();
-    runs.push_back(std::move(run));
-  }
+  };
+  run_cascade(fresh_sentinel(), fresh_arcane());
+  run_cascade(fresh_arcane(), fresh_sentinel());
 
   std::printf(
       "  %-28s %10s %10s %12s %14s %8s\n", "topology", "sens", "spec",
@@ -147,6 +138,156 @@ int main(int argc, char** argv) {
       "\ninterpretation: the sentinel->arcane cascade cuts the in-house\n"
       "tool's load to a fraction of the stream while keeping 1oo2-like\n"
       "sensitivity; the reverse order filters less because arcane alerts\n"
-      "on slightly fewer requests. Parallel 2oo2 maximizes specificity.\n");
-  return 0;
+      "on slightly fewer requests. Parallel 2oo2 maximizes specificity.\n\n");
+}
+
+// --------------------------------------------------------------------------
+// Part 2: the batched-pipeline scaling sweep.
+
+struct Combo {
+  std::size_t shards;
+  std::size_t dispatchers;
+  std::size_t batch;
+  // Run-ahead bound in records. Also the circulating arena footprint
+  // (ring slots x batch bytes), which is why the default is modest: on a
+  // 1-core host a deep ring turns every slot write into a cache miss.
+  std::size_t backlog = 4 * 1024;
+};
+
+struct ComboResult {
+  core::JointResults results;
+  std::uint64_t records = 0;
+  double wall_s = 0.0;
+};
+
+// Generator -> RecordBatch -> process_batch: the batched ingest seam the
+// tailer/decoder stack uses, fed from the deterministic scenario stream.
+ComboResult run_combo(const traffic::ScenarioConfig& scenario,
+                      const Combo& combo) {
+  traffic::Scenario source(scenario);
+  pipeline::ShardedPipeline pipe([] { return detectors::make_paper_pair(); },
+                                 combo.shards, combo.batch, combo.backlog,
+                                 combo.dispatchers);
+  std::uint64_t records = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  pipeline::RecordBatch batch = pipe.batch_pool().acquire();
+  for (;;) {
+    // Generate straight into the warm slot — the same dirty-record reuse
+    // contract as the sequential engine's single stack record, minus the
+    // copy the old record-at-a-time handoff paid.
+    if (!source.next(batch.append_slot())) {
+      batch.rollback_last();
+      break;
+    }
+    ++records;
+    if (batch.size() >= combo.batch) {
+      pipe.process_batch(std::move(batch));
+      batch = pipe.batch_pool().acquire();
+    }
+  }
+  if (!batch.empty()) pipe.process_batch(std::move(batch));
+  auto results = pipe.finish();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return ComboResult{std::move(results), records, wall};
+}
+
+int run_scaling_sweep(double scale, const std::string& json_path,
+                      std::size_t repeat) {
+  const auto scenario = traffic::amadeus_like(scale);
+  // The gate stream: small enough to be cheap, big enough to populate
+  // windows and reputation state across every shard.
+  const double gate_scale = scale < 0.02 ? scale : 0.02;
+  const auto gate_scenario = traffic::amadeus_like(gate_scale);
+
+  // Sequential references at both scales. Min-of-`repeat` wall like every
+  // combo row below — same estimator on both sides of the comparison.
+  core::ExperimentConfig config;
+  config.scenario = scenario;
+  const auto pool = detectors::make_paper_pair();
+  auto sequential = core::run_experiment(config, pool);
+  for (std::size_t r = 1; r < repeat; ++r) {
+    auto again = core::run_experiment(config, pool);
+    if (again.wall_seconds < sequential.wall_seconds)
+      sequential = std::move(again);
+  }
+  const std::string sequential_json = core::to_json(sequential.results);
+  core::ExperimentConfig gate_config;
+  gate_config.scenario = gate_scenario;
+  const std::string gate_json =
+      core::to_json(core::run_paper_experiment(gate_config).results);
+
+  std::vector<bench::ThroughputRun> runs;
+  runs.push_back({"sequential", 0, sequential.records,
+                  sequential.wall_seconds});
+
+  const Combo combos[] = {
+      {1, 1, 1024}, {2, 1, 1024}, {2, 2, 256},
+      {4, 2, 1024}, {4, 4, 64},   {8, 4, 1024},
+  };
+
+  std::printf("  %-24s %10s %14s %10s %10s\n", "combo (s/d/b)", "wall(s)",
+              "records/s", "speedup", "identical");
+  std::printf("  %-24s %10.2f %14.0f %10s %10s\n", "sequential",
+              sequential.wall_seconds, sequential.throughput_rps(), "1.00x",
+              "-");
+
+  bool all_identical = true;
+  for (const auto& combo : combos) {
+    // Identity gate BEFORE the timed row: the combo must reproduce the
+    // sequential results byte-for-byte on the gate stream.
+    const auto gated = run_combo(gate_scenario, combo);
+    if (core::to_json(gated.results) != gate_json) {
+      std::fprintf(stderr,
+                   "identity gate FAILED at shards=%zu dispatchers=%zu "
+                   "batch=%zu — not timing a wrong pipeline\n",
+                   combo.shards, combo.dispatchers, combo.batch);
+      return 1;
+    }
+    auto timed = run_combo(scenario, combo);
+    bool identical = core::to_json(timed.results) == sequential_json;
+    for (std::size_t r = 1; r < repeat; ++r) {
+      auto again = run_combo(scenario, combo);
+      identical =
+          identical && core::to_json(again.results) == sequential_json;
+      if (again.wall_s < timed.wall_s) timed = std::move(again);
+    }
+    all_identical = all_identical && identical;
+    char label[64];
+    std::snprintf(label, sizeof label, "sharded %zu/%zu/%zu", combo.shards,
+                  combo.dispatchers, combo.batch);
+    std::printf("  %-24s %10.2f %14.0f %9.2fx %10s\n", label, timed.wall_s,
+                static_cast<double>(timed.records) / timed.wall_s,
+                sequential.wall_seconds / timed.wall_s,
+                identical ? "yes" : "NO");
+    runs.push_back({"sharded_batched", combo.shards, timed.records,
+                    timed.wall_s, combo.dispatchers, combo.batch});
+  }
+
+  std::printf(
+      "\nnote: the generator side is single-threaded, so speedup saturates\n"
+      "once detection stops being the bottleneck; on a 1-core host the\n"
+      "contract is sharded >= sequential (batching amortizes the handoff),\n"
+      "not scaling. /24-affine partitioning guarantees result identity.\n");
+
+  if (!json_path.empty()) {
+    if (!bench::write_throughput_json(json_path, "bench_serial_parallel",
+                                      scale, runs))
+      return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv, 0.2);
+  std::printf("# E6: parallel vs serial deployment, scale=%.3f\n\n",
+              args.scale);
+  run_e6_topologies(traffic::amadeus_like(args.scale));
+
+  std::printf("# batched pipeline scaling: shards x dispatchers x batch\n\n");
+  return run_scaling_sweep(args.scale, args.json_path, args.repeat);
 }

@@ -126,7 +126,9 @@ bool check_identity(const char* mode, const std::string& live,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 0.1);
+  const auto args = bench::parse_bench_args(argc, argv, 0.1);
+  const double scale = args.scale;
+  const std::string& json_path = args.json_path;
   std::printf("# live ingest: write + tail + detect, scale=%.3f\n\n", scale);
   const std::string log_path = "bench_tail.log";
 

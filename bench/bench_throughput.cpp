@@ -82,7 +82,9 @@ bool add_parse_runs(const divscrape::traffic::ScenarioConfig& scenario,
 int main(int argc, char** argv) {
   using namespace divscrape;
 
-  const auto [scale, json_path] = bench::parse_bench_args(argc, argv, 1.0);
+  const auto args = bench::parse_bench_args(argc, argv, 1.0);
+  const double scale = args.scale;
+  const std::string& json_path = args.json_path;
   const auto scenario = traffic::amadeus_like(scale);
   std::printf("# E10: end-to-end throughput, scale=%.3f\n\n", scale);
 

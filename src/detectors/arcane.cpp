@@ -13,6 +13,44 @@ using httplog::Timestamp;
 
 ArcaneDetector::ArcaneDetector(ArcaneConfig config) : config_(config) {}
 
+void ArcaneDetector::ClientState::grow() {
+  // Linearize into a doubled ring (oldest entry back at index 0).
+  std::vector<Entry> grown(ring.empty() ? 8 : ring.size() * 2);
+  for (std::size_t i = 0; i < count; ++i)
+    grown[i] = ring[(head + i) % ring.size()];
+  ring = std::move(grown);
+  head = 0;
+}
+
+void ArcaneDetector::ClientState::push(const Entry& e) {
+  if (count == ring.size()) grow();
+  ring[(head + count) % ring.size()] = e;
+  ++count;
+}
+
+void ArcaneDetector::ClientState::bump_template(std::uint32_t token) {
+  for (auto& [t, c] : templates) {
+    if (t == token) {
+      ++c;
+      return;
+    }
+  }
+  templates.emplace_back(token, 1);
+}
+
+void ArcaneDetector::ClientState::drop_template(std::uint32_t token) {
+  for (auto& tc : templates) {
+    if (tc.first == token) {
+      if (--tc.second == 0) {
+        // Order is irrelevant (save_state sorts): swap-and-pop.
+        tc = templates.back();
+        templates.pop_back();
+      }
+      return;
+    }
+  }
+}
+
 void ArcaneDetector::reset() {
   clients_.clear();
   local_uas_.clear();
@@ -24,17 +62,15 @@ void ArcaneDetector::reset() {
 void ArcaneDetector::prune(ClientState& state, Timestamp now) {
   const auto cutoff =
       now + (-httplog::seconds_to_micros(config_.window_s));
-  while (!state.window.empty() && state.window.front().time < cutoff) {
-    const Entry& e = state.window.front();
+  while (state.count != 0 && state.front().time < cutoff) {
+    const Entry& e = state.front();
     state.assets -= e.asset;
     state.referers -= e.referer;
     state.errors_4xx -= e.error_4xx;
     state.no_content -= e.no_content;
     state.not_modified -= e.not_modified;
-    auto it = state.templates.find(e.template_token);
-    if (it != state.templates.end() && --it->second == 0)
-      state.templates.erase(it);
-    state.window.pop_front();
+    state.drop_template(e.template_token);
+    state.pop_front();
   }
 }
 
@@ -122,8 +158,9 @@ bool ArcaneDetector::save_state(util::StateWriter& w) const {
   for (const auto& [key, state] : clients) {
     w.u32(key.ip.value());
     w.u32(key.ua_token);
-    w.u64(state->window.size());
-    for (const Entry& e : state->window) {
+    w.u64(state->count);
+    for (std::size_t j = 0; j < state->count; ++j) {
+      const Entry& e = state->at(j);  // oldest-first: same bytes as before
       w.i64(e.time.micros());
       w.u32(e.template_token);
       w.u8(static_cast<std::uint8_t>(e.asset | (e.referer << 1) |
@@ -136,8 +173,7 @@ bool ArcaneDetector::save_state(util::StateWriter& w) const {
     w.i64(state->errors_4xx);
     w.i64(state->no_content);
     w.i64(state->not_modified);
-    std::vector<std::pair<std::uint32_t, int>> templates(
-        state->templates.begin(), state->templates.end());
+    std::vector<std::pair<std::uint32_t, int>> templates = state->templates;
     std::sort(templates.begin(), templates.end());
     w.u64(templates.size());
     for (const auto& [token, count] : templates) {
@@ -183,7 +219,7 @@ bool ArcaneDetector::load_state(util::StateReader& r) {
       e.error_4xx = (bits & 4) != 0;
       e.no_content = (bits & 8) != 0;
       e.not_modified = (bits & 16) != 0;
-      state.window.push_back(e);
+      state.push(e);
     }
     state.assets = static_cast<int>(r.i64());
     state.referers = static_cast<int>(r.i64());
@@ -193,7 +229,7 @@ bool ArcaneDetector::load_state(util::StateReader& r) {
     const std::uint64_t template_count = r.u64();
     for (std::uint64_t j = 0; r.ok() && j < template_count; ++j) {
       const std::uint32_t token = r.u32();
-      state.templates[token] = static_cast<int>(r.i64());
+      state.templates.emplace_back(token, static_cast<int>(r.i64()));
     }
     state.last_seen = Timestamp{r.i64()};
     const std::uint8_t ua_bits = r.u8();
@@ -240,15 +276,15 @@ Verdict ArcaneDetector::evaluate(const httplog::LogRecord& record) {
   entry.no_content = record.status == 204;
   entry.not_modified = record.status == 304;
 
-  state.window.push_back(entry);
+  state.push(entry);
   state.assets += entry.asset;
   state.referers += entry.referer;
   state.errors_4xx += entry.error_4xx;
   state.no_content += entry.no_content;
   state.not_modified += entry.not_modified;
-  ++state.templates[entry.template_token];
+  state.bump_template(entry.template_token);
 
-  const int n = static_cast<int>(state.window.size());
+  const int n = static_cast<int>(state.count);
   if (n < config_.min_requests) return {false, 0.0, AlertReason::kNone};
 
   // Polite declared crawlers get a volume grace allowance.

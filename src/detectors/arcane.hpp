@@ -26,9 +26,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "detectors/detector.hpp"
 #include "httplog/session.hpp"
@@ -99,21 +100,50 @@ class ArcaneDetector final : public Detector {
     bool not_modified = false;
   };
 
+  /// Per-client sliding window as a flat ring (PR 9 redesign; was
+  /// std::deque + std::unordered_map). The window holds at most a couple
+  /// hundred entries even for the hottest scrapers, so a contiguous ring
+  /// with O(1) push/pop beats the deque's chunked allocation, and a flat
+  /// (token, count) vector with linear scan beats the hash map — the
+  /// distinct-template count rarely exceeds template_monotony_max + a
+  /// handful, so the scan is a few cache lines where the map was a heap
+  /// node per template. Serialization iterates the ring oldest-first and
+  /// sorts templates on save, so saved bytes are identical to the old
+  /// containers'.
   struct ClientState {
-    std::deque<Entry> window;
-    // Running counts over `window` (kept in sync on push/prune).
+    /// Entry i (oldest-first) lives at ring[(head + i) % ring.size()].
+    std::vector<Entry> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    // Running counts over the window (kept in sync on push/prune).
     int assets = 0;
     int referers = 0;
     int errors_4xx = 0;
     int no_content = 0;
     int not_modified = 0;
-    std::unordered_map<std::uint32_t, int> templates;
+    /// Distinct in-window templates with counts; unsorted, linear-scanned.
+    std::vector<std::pair<std::uint32_t, int>> templates;
     httplog::Timestamp last_seen{0};
     // UA facts are per-client constants (the key includes the UA).
     bool scripted = false;
     bool declared_bot = false;
     bool browser = false;
     bool ua_classified = false;
+
+    [[nodiscard]] const Entry& front() const noexcept { return ring[head]; }
+    [[nodiscard]] const Entry& at(std::size_t i) const noexcept {
+      return ring[(head + i) % ring.size()];
+    }
+    void push(const Entry& e);
+    void pop_front() noexcept {
+      head = (head + 1) % ring.size();
+      --count;
+    }
+    void bump_template(std::uint32_t token);
+    void drop_template(std::uint32_t token);
+
+   private:
+    void grow();
   };
 
   void prune(ClientState& state, httplog::Timestamp now);

@@ -13,6 +13,46 @@ using httplog::UaFamily;
 SentinelDetector::SentinelDetector(SentinelConfig config)
     : config_(config) {}
 
+void SentinelDetector::IpState::push(Timestamp t) {
+  if (count == ring.size()) {
+    // Linearize into a doubled ring (oldest entry back at index 0).
+    std::vector<Timestamp> grown(ring.empty() ? 8 : ring.size() * 2,
+                                 Timestamp{0});
+    for (std::size_t i = 0; i < count; ++i)
+      grown[i] = ring[(head + i) % ring.size()];
+    ring = std::move(grown);
+    head = 0;
+  }
+  if (count != 0 && t < at(count - 1)) monotone = false;
+  ring[(head + count) % ring.size()] = t;
+  ++count;
+}
+
+int SentinelDetector::IpState::count_since(Timestamp cutoff) const noexcept {
+  if (monotone) {
+    // Binary search for the first in-window entry (the ring is sorted).
+    std::size_t lo = 0;
+    std::size_t hi = count;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (at(mid) < cutoff) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(count - lo);
+  }
+  // Out-of-order arrivals (late merge emissions): preserve the historical
+  // newest-backwards scan, which stops at the first too-old entry.
+  int n = 0;
+  for (std::size_t i = count; i-- > 0;) {
+    if (at(i) < cutoff) break;
+    ++n;
+  }
+  return n;
+}
+
 void SentinelDetector::reset() {
   ips_.clear();
   subnets_.clear();
@@ -143,8 +183,9 @@ bool SentinelDetector::save_state(util::StateWriter& w) const {
   w.u64(ips.size());
   for (const auto& [ip, state] : ips) {
     w.u32(ip.value());
-    w.u64(state->recent.size());
-    for (const Timestamp t : state->recent) w.i64(t.micros());
+    w.u64(state->count);
+    for (std::size_t j = 0; j < state->count; ++j)
+      w.i64(state->at(j).micros());  // oldest-first: same bytes as before
     w.i64(state->flagged_until.micros());
     w.boolean(state->counted_in_subnet);
     w.i64(state->last_seen.micros());
@@ -183,7 +224,7 @@ bool SentinelDetector::load_state(util::StateReader& r) {
     const std::uint64_t recent = r.u64();
     if (!r.ok()) break;
     for (std::uint64_t j = 0; r.ok() && j < recent; ++j)
-      state.recent.push_back(Timestamp{r.i64()});
+      state.push(Timestamp{r.i64()});  // push() rederives the monotone flag
     state.flagged_until = Timestamp{r.i64()};
     state.counted_in_subnet = r.boolean();
     state.last_seen = Timestamp{r.i64()};
@@ -214,11 +255,13 @@ Verdict SentinelDetector::evaluate(const httplog::LogRecord& record) {
 
   auto& state = ips_[record.ip];
   state.last_seen = now;
-  state.recent.push_back(now);
+  state.push(now);
+  // Eager prune (not lazy-on-read): keeps the serialized window identical
+  // to the historical deque's and bounds the ring at the sustained window.
   const auto sustained_cutoff =
       now + (-httplog::seconds_to_micros(config_.sustained_window_s));
-  while (!state.recent.empty() && state.recent.front() < sustained_cutoff)
-    state.recent.pop_front();
+  while (state.count != 0 && state.front() < sustained_cutoff)
+    state.pop_front();
 
   // 1. Automation signatures alert and blacklist immediately.
   if (ua.family == UaFamily::kScriptClient ||
@@ -248,12 +291,8 @@ Verdict SentinelDetector::evaluate(const httplog::LogRecord& record) {
   // 4. Rate tripwires.
   const auto burst_cutoff =
       now + (-httplog::seconds_to_micros(config_.burst_window_s));
-  int burst = 0;
-  for (auto it = state.recent.rbegin(); it != state.recent.rend(); ++it) {
-    if (*it < burst_cutoff) break;
-    ++burst;
-  }
-  const int sustained = static_cast<int>(state.recent.size());
+  const int burst = state.count_since(burst_cutoff);
+  const int sustained = static_cast<int>(state.count);
   if (burst >= config_.burst_limit || sustained >= config_.sustained_limit) {
     flag_ip(state, record.ip, now);
     return {true, 1.0, AlertReason::kRateLimit};

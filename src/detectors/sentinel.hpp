@@ -25,7 +25,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,11 +80,41 @@ class SentinelDetector final : public Detector {
   [[nodiscard]] std::size_t flagged_subnets() const noexcept;
 
  private:
+  /// Per-IP arrival times over the sustained window, as a flat ring (PR 9;
+  /// was std::deque). The deque re-walked chunked heap nodes on every
+  /// record — both the front prune and the reverse burst scan; the ring is
+  /// one contiguous allocation, and while the timestamps are monotone
+  /// (true for every time-ordered stream; a late merge emission clears the
+  /// flag) the burst count is a binary search instead of an O(burst)
+  /// reverse scan. Semantics are unchanged either way: when the ring is
+  /// sorted the scan and the search count the same entries, and a
+  /// non-monotone ring falls back to the scan. Serialization iterates
+  /// oldest-first — identical bytes to the deque's.
   struct IpState {
-    std::deque<httplog::Timestamp> recent;  ///< pruned to sustained window
+    std::vector<httplog::Timestamp> ring;  ///< pruned to sustained window
+    std::size_t head = 0;
+    std::size_t count = 0;
+    /// True while arrivals are non-decreasing (enables the binary search).
+    /// Derived state: recomputed on load, conservatively sticky-false.
+    bool monotone = true;
     httplog::Timestamp flagged_until{0};
     bool counted_in_subnet = false;
     httplog::Timestamp last_seen{0};
+
+    [[nodiscard]] httplog::Timestamp at(std::size_t i) const noexcept {
+      return ring[(head + i) % ring.size()];
+    }
+    [[nodiscard]] httplog::Timestamp front() const noexcept {
+      return ring[head];
+    }
+    void push(httplog::Timestamp t);
+    void pop_front() noexcept {
+      head = (head + 1) % ring.size();
+      --count;
+    }
+    /// Entries with timestamp >= cutoff, counted from the newest end —
+    /// exactly the deque's reverse-scan semantics.
+    [[nodiscard]] int count_since(httplog::Timestamp cutoff) const noexcept;
   };
   struct SubnetState {
     int violator_ips = 0;

@@ -23,6 +23,7 @@
 #include "httplog/clf.hpp"
 #include "httplog/framing.hpp"
 #include "httplog/record.hpp"
+#include "pipeline/record_batch.hpp"
 
 namespace divscrape::pipeline {
 
@@ -37,9 +38,24 @@ struct ReplayStats {
 class LineDecoder {
  public:
   using RecordFn = std::function<void(httplog::LogRecord&&)>;
+  using BatchFn = std::function<void(RecordBatch&&)>;
 
   /// Every successfully parsed record is passed to `on_record` (moved).
   explicit LineDecoder(RecordFn on_record);
+
+  /// Batch mode: lines are parsed straight into RecordBatch slots (no
+  /// per-record callback, no scratch move) and handed to `on_batch` every
+  /// `batch_records` records. When `pool` is given, fresh batches are
+  /// acquired from it — wire it to the consumer's recycle side so slot
+  /// string storage stays warm.
+  ///
+  /// Checkpoint invariant: the in-progress batch never outlives the call
+  /// that filled it — feed() and finish_stream() flush a partial batch
+  /// before returning. A tail checkpoint taken between feed() calls
+  /// therefore covers exactly the records already handed downstream; no
+  /// record hides in the decoder.
+  LineDecoder(BatchFn on_batch, std::size_t batch_records,
+              BatchPool* pool = nullptr);
 
   LineDecoder(const LineDecoder&) = delete;
   LineDecoder& operator=(const LineDecoder&) = delete;
@@ -96,6 +112,9 @@ class LineDecoder {
 
  private:
   void decode_line(std::string_view line);
+  /// Hands the in-progress batch downstream (batch mode only; no-op when
+  /// empty) and starts a fresh one from the pool.
+  void flush_batch();
 
   httplog::LineFramer framer_;
   httplog::ClfParser parser_;  ///< streaming parser: timestamp memo stays warm
@@ -105,6 +124,10 @@ class LineDecoder {
   /// allocation they always paid.
   httplog::LogRecord scratch_;
   RecordFn on_record_;
+  BatchFn on_batch_;             ///< non-null = batch mode
+  std::size_t batch_records_ = 0;
+  BatchPool* pool_ = nullptr;    ///< optional recycle source for batch mode
+  RecordBatch batch_;            ///< in-progress batch (empty between feeds)
   ReplayStats stats_;
   bool partial_spans_boundary_ = false;
   std::uint64_t boundary_skips_ = 0;

@@ -24,6 +24,28 @@ MultiTailer::MultiTailer(std::vector<std::string> paths, RecordSink sink,
   }
 }
 
+MultiTailer::MultiTailer(std::vector<std::string> paths, BatchSink sink,
+                         std::size_t batch_records, Config config,
+                         BatchPool* pool)
+    : config_(config),
+      batch_sink_(std::move(sink)),
+      batch_records_(batch_records == 0 ? 1 : batch_records),
+      batch_pool_(pool) {
+  inputs_.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    inputs_.push_back(std::make_unique<Input>(
+        this, static_cast<std::uint32_t>(i), std::move(paths[i]),
+        config_.tail));
+  }
+}
+
+void MultiTailer::flush_out_batch() {
+  if (out_batch_.empty()) return;
+  RecordBatch full = std::move(out_batch_);
+  out_batch_ = batch_pool_ ? batch_pool_->acquire() : RecordBatch{};
+  batch_sink_(std::move(full));
+}
+
 void MultiTailer::enqueue(std::uint32_t file, httplog::LogRecord&& record) {
   Input& input = *inputs_[file];
   const MergeKey key{record.time.micros(), file, input.seq++};
@@ -60,6 +82,13 @@ void MultiTailer::emit_top() {
     last_emitted_us_ = pending.key.time_us;
   }
   emitted_any_ = true;
+  if (batch_sink_) {
+    // Copy-assign into a warm slot (arena contract) instead of moving —
+    // a move would strip the slot's warm string buffers.
+    out_batch_.append_slot() = pending.record;
+    if (out_batch_.size() >= batch_records_) flush_out_batch();
+    return;
+  }
   sink_(std::move(pending.record));
 }
 
@@ -101,6 +130,9 @@ std::size_t MultiTailer::poll() {
   std::size_t total = 0;
   for (auto& input : inputs_) total += input->tailer.poll();
   emit_ready();
+  // Batch-mode invariant: released records never sit in a partial batch
+  // across calls (alert latency + checkpoint coverage).
+  if (batch_sink_) flush_out_batch();
   return total;
 }
 
@@ -110,6 +142,7 @@ std::uint64_t MultiTailer::flush() {
     emit_top();
     ++emitted;
   }
+  if (batch_sink_) flush_out_batch();
   return emitted;
 }
 

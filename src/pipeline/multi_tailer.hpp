@@ -58,6 +58,7 @@
 #include "httplog/timestamp.hpp"
 #include "pipeline/checkpoint.hpp"
 #include "pipeline/decoder.hpp"
+#include "pipeline/record_batch.hpp"
 #include "pipeline/tailer.hpp"
 
 namespace divscrape::pipeline {
@@ -82,11 +83,27 @@ class MultiTailer {
   using Config = MultiTailConfig;
   /// Receives the merged, time-ordered record stream.
   using RecordSink = std::function<void(httplog::LogRecord&&)>;
+  /// Receives the merged stream framed into RecordBatches (batch mode).
+  using BatchSink = std::function<void(RecordBatch&&)>;
 
   /// One tailer per path; paths need not exist yet. The sink must outlive
   /// the MultiTailer.
   MultiTailer(std::vector<std::string> paths, RecordSink sink,
               Config config = Config());
+
+  /// Batch-sink mode: merged records are copy-assigned into warm batch
+  /// slots and handed downstream `batch_records` at a time — the framing
+  /// a ShardedPipeline::process_batch consumer wants. Wire `pool` to the
+  /// consumer's recycle side (e.g. &pipeline.batch_pool()) to close the
+  /// arena loop. The emission *order* is identical to record-sink mode;
+  /// only the handoff granularity changes.
+  ///
+  /// Checkpoint invariant: poll() and flush() hand off a partial batch
+  /// before returning, so the batch never buffers records across calls —
+  /// flush() remains the complete quiescent point for checkpointing.
+  MultiTailer(std::vector<std::string> paths, BatchSink sink,
+              std::size_t batch_records, Config config = Config(),
+              BatchPool* pool = nullptr);
 
   MultiTailer(const MultiTailer&) = delete;
   MultiTailer& operator=(const MultiTailer&) = delete;
@@ -170,9 +187,15 @@ class MultiTailer {
   void enqueue(std::uint32_t file, httplog::LogRecord&& record);
   void emit_ready();
   void emit_top();
+  /// Hands the partial out-batch downstream (batch mode; no-op when empty).
+  void flush_out_batch();
 
   Config config_;
   RecordSink sink_;
+  BatchSink batch_sink_;            ///< non-null = batch mode
+  std::size_t batch_records_ = 0;
+  BatchPool* batch_pool_ = nullptr;
+  RecordBatch out_batch_;  ///< in-progress batch (empty between calls)
   std::vector<std::unique_ptr<Input>> inputs_;
   std::vector<Pending> heap_;
   std::uint64_t late_records_ = 0;

@@ -2,13 +2,23 @@
 
 namespace divscrape::pipeline {
 
+namespace {
+/// Granularity of the engine's internal parse->dispatch batches. Purely an
+/// execution knob: the decoder flushes partial batches at every feed()
+/// boundary, so batching is unobservable in results and checkpoints.
+constexpr std::size_t kReplayBatchRecords = 1024;
+}  // namespace
+
 ReplayEngine::ReplayEngine(
     const std::vector<std::unique_ptr<detectors::Detector>>& pool,
     double time_scale)
     : joiner_(pool),
-      decoder_([this](httplog::LogRecord&& record) {
-        process_record(std::move(record));
-      }),
+      decoder_(
+          [this](RecordBatch&& batch) {
+            process_batch(batch);
+            batch_pool_.recycle(std::move(batch));
+          },
+          kReplayBatchRecords, &batch_pool_),
       time_scale_(time_scale) {
   for (const auto& detector : pool) detector->reset();
 }
@@ -19,6 +29,14 @@ void ReplayEngine::process_record(httplog::LogRecord&& record) {
   record.ua_token = ua_tokens_.intern(record.user_agent);
   pacer_.wait_until(record.time, time_scale_);
   (void)joiner_.process(record);
+}
+
+void ReplayEngine::process_batch(RecordBatch& batch) {
+  for (auto& record : batch) {
+    record.ua_token = ua_tokens_.intern(record.user_agent);
+    pacer_.wait_until(record.time, time_scale_);
+    (void)joiner_.process(record);
+  }
 }
 
 bool ReplayEngine::save_state(util::StateWriter& w) const {

@@ -82,6 +82,13 @@ class ReplayEngine {
   /// accounting belongs to whichever decoder parsed them.
   void process_record(httplog::LogRecord&& record);
 
+  /// Batch-level ingest: stamps, paces and dispatches every record of the
+  /// batch in order, equivalent to process_record per record. The caller
+  /// keeps the batch (records are read in place; only ua_token is
+  /// stamped), so it can recycle the arena. This is the engine's own inner
+  /// loop — replay()/feed() parse into batches and dispatch through here.
+  void process_batch(RecordBatch& batch);
+
   /// True while an unterminated partial line is buffered.
   [[nodiscard]] bool has_partial_line() const noexcept {
     return decoder_.has_partial_line();
@@ -124,6 +131,10 @@ class ReplayEngine {
  private:
   core::AlertJoiner joiner_;
   util::StringInterner ua_tokens_;  ///< stamps records at dispatch
+  /// Arena loop for the engine's own parse path: the decoder acquires
+  /// batches here and process_batch's caller lambda recycles them, so the
+  /// steady state reuses one warm batch.
+  BatchPool batch_pool_;
   LineDecoder decoder_;
   httplog::Pacer pacer_;
   double time_scale_;

@@ -6,15 +6,49 @@
 // in this repository keys its state by client IP or (IP, UA), and
 // Sentinel's widest coupling is the /24 subnet. Partitioning by the /24
 // prefix therefore routes every record that could share detector state to
-// the same shard, and each shard sees its sub-stream in global time order
-// (the dispatcher is single-threaded). Hence the merged results are
-// *identical* to a sequential run — the classic "partition by the state
-// key" recipe for scaling stateful stream processors.
+// the same shard, and each shard sees its sub-stream in input order.
+// Hence the merged results are *identical* to a sequential run — the
+// classic "partition by the state key" recipe for scaling stateful stream
+// processors.
+//
+// ## Batched, multi-dispatcher architecture
+//
+// Records move through the pipeline as RecordBatches over bounded SPSC
+// rings; nothing is handed over one record at a time:
+//
+//   caller ──batches──> dispatcher ring ──> dispatcher d ──batches──>
+//     per-shard SPSC ring ──> shard worker (detector pool)
+//
+// The caller thread routes each record by its /24 shard key into a pending
+// batch for the *dispatcher that owns that shard* (shards are partitioned
+// across M dispatchers in contiguous key ranges: dispatcher d owns shards
+// [d*S/M, (d+1)*S/M)). Each dispatcher consumes its input ring, re-routes
+// the batch's records into per-shard pending batches, and pushes full ones
+// into that shard's ring. Shard s therefore has exactly one producer (its
+// owning dispatcher) and one consumer (its worker) — every ring in the
+// graph is SPSC, and per-shard record order equals input order by FIFO
+// composition, which is what makes JointResults byte-identical to the
+// sequential engine at EVERY (shards, dispatchers, batch size) setting.
+//
+// Batches are recycled through one shared BatchPool (consumers return,
+// producers acquire), so the steady state allocates nothing: strings are
+// byte-copied into warm slots (see record_batch.hpp). Backpressure is
+// structural — rings are bounded, so a caller that outruns detection
+// blocks in push() instead of buffering the stream.
+//
+// With dispatchers == 1 (the default) and a caller that hands whole
+// batches (process_batch), the input batch is moved into the dispatcher
+// ring untouched — a pointer-swap handoff for the common case. A
+// dispatcher that owns exactly one shard forwards batches whole as well
+// (the caller's routing already put only that shard's records in them),
+// so shards == dispatchers configurations pay a single routing copy and
+// shards == dispatchers == 1 pays none.
 //
 // Note the one caveat: JointResults' k-of-N adjudication and pairwise
 // tables are per-record joins of the same pool, so they shard cleanly too.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -26,6 +60,8 @@
 #include "core/joiner.hpp"
 #include "detectors/detector.hpp"
 #include "httplog/record.hpp"
+#include "pipeline/record_batch.hpp"
+#include "pipeline/spsc_ring.hpp"
 #include "traffic/scenario.hpp"
 
 namespace divscrape::pipeline {
@@ -38,49 +74,81 @@ class ShardedPipeline {
  public:
   /// `shards` >= 1. The factory is invoked `shards` times up front.
   ///
-  /// `max_backlog` bounds each shard's unprocessed run-ahead (enqueued −
-  /// processed, in records): a flush that would exceed it blocks the
-  /// dispatcher until the worker catches up. Without the bound a dispatcher
-  /// that outpaces its workers — easy once generation is faster than
-  /// detection — buffers the whole stream in shard queues (hundreds of MB
-  /// at paper scale). 0 disables backpressure.
+  /// `batch_size` is the records-per-batch granularity of every handoff.
+  ///
+  /// `max_backlog` bounds each shard's unprocessed run-ahead in records:
+  /// it is realized as the shard ring's capacity in batches
+  /// (max(1, max_backlog / batch_size)), so a dispatcher that outpaces a
+  /// worker blocks on the ring instead of buffering the stream. 0 picks a
+  /// generous-but-bounded default (rings are bounded by construction).
+  ///
+  /// `dispatchers` (clamped to [1, shards]) is the number of dispatcher
+  /// threads the shard set is range-partitioned across. Purely an
+  /// execution knob: results are identical for any value.
   ShardedPipeline(PoolFactory factory, std::size_t shards,
                   std::size_t batch_size = 1024,
-                  std::size_t max_backlog = 16 * 1024);
+                  std::size_t max_backlog = 16 * 1024,
+                  std::size_t dispatchers = 1);
   ~ShardedPipeline();
 
   ShardedPipeline(const ShardedPipeline&) = delete;
   ShardedPipeline& operator=(const ShardedPipeline&) = delete;
 
-  /// Routes one record to its shard (by /24 prefix hash). Called from one
-  /// dispatcher thread only.
+  /// Routes one record into the pending batch of the dispatcher owning its
+  /// shard (by /24 prefix hash). Called from one caller thread only. The
+  /// record is byte-copied into a warm batch slot (the arena contract);
+  /// the caller keeps its buffer.
   void process(const httplog::LogRecord& record);
-  /// Move overload: the dispatcher→shard handoff steals the record's five
-  /// strings instead of copying them — the preferred form for streaming
-  /// sources that re-fill the record anyway.
+  /// Source-compat overload: batching made stealing the caller's strings
+  /// counterproductive (a move discards the slot's warm buffer), so this
+  /// simply copies like the const& form.
   void process(httplog::LogRecord&& record);
 
-  /// Barrier: flushes the dispatcher-side batches and blocks until every
-  /// worker has *processed* everything enqueued so far. Checkpointing
-  /// callers need this — a persisted offset must not cover records still
-  /// sitting in a shard queue, or a crash loses them from the results
-  /// while resume skips them. The pipeline stays usable afterwards.
+  /// Batch seam: hands a whole batch to the pipeline, which takes
+  /// ownership (the batch is recycled into the internal pool after its
+  /// shard workers finish). With 1 dispatcher the batch is moved into the
+  /// dispatcher ring without touching a record; with M > 1 its records
+  /// are split into per-dispatcher pending batches. Producers should
+  /// acquire batches from batch_pool() to close the recycle loop.
+  void process_batch(RecordBatch&& batch);
+
+  /// The pipeline's batch arena — producers acquire here so consumers'
+  /// recycled batches (with warm string storage) come back around.
+  [[nodiscard]] BatchPool& batch_pool() noexcept { return pool_; }
+
+  /// Barrier: flushes every pending batch through the dispatchers and
+  /// blocks until every worker has *processed* everything enqueued so far.
+  /// Checkpointing callers need this — a persisted offset must not cover
+  /// records still sitting in a ring, or a crash loses them from the
+  /// results while resume skips them. The pipeline stays usable
+  /// afterwards.
   void drain();
 
-  /// Flushes queues, joins workers, merges shard results. Must be called
-  /// exactly once; process() is illegal afterwards.
+  /// Flushes rings, joins dispatchers and workers, merges shard results.
+  /// Must be called exactly once; process() is illegal afterwards.
   [[nodiscard]] core::JointResults finish();
 
-  [[nodiscard]] std::size_t shards() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t dispatchers() const noexcept {
+    return dispatchers_.size();
+  }
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
   [[nodiscard]] std::uint64_t dispatched() const noexcept {
     return dispatched_;
   }
+  /// High-water mark of any single shard's (enqueued - processed) records,
+  /// sampled at enqueue time — the backpressure tests assert this stays
+  /// within the configured bound.
+  [[nodiscard]] std::uint64_t peak_shard_backlog() const noexcept;
 
   /// Warm-checkpoint dump of every shard's joiner (detector states +
   /// per-shard results). Internally drain()s first — the workers are idle
-  /// and their queues empty while the states are read, so the dump is a
+  /// and their rings empty while the states are read, so the dump is a
   /// consistent cut of the whole pipeline. Returns false (nothing written)
-  /// if a pool member doesn't support serialization.
+  /// if a pool member doesn't support serialization. The blob layout is
+  /// unchanged from the single-dispatcher pipeline (dispatcher count and
+  /// batch size are execution knobs, not state), so pre-batching
+  /// checkpoints restore into this pipeline and vice versa.
   [[nodiscard]] bool save_state(util::StateWriter& w);
   /// Restores from save_state() output; call before any process(). The
   /// shard count must match the saved one (routing is count-dependent). On
@@ -88,29 +156,67 @@ class ShardedPipeline {
   [[nodiscard]] bool load_state(util::StateReader& r);
 
  private:
-  struct Shard {
-    std::mutex mutex;
-    std::condition_variable ready;
-    std::condition_variable idle;  ///< signals processed catching enqueued
-    std::vector<httplog::LogRecord> queue;  ///< swapped out by the worker
-    bool done = false;
-    std::uint64_t enqueued = 0;   ///< records ever handed to the queue
-    std::uint64_t processed = 0;  ///< records the worker has evaluated
-    std::unique_ptr<core::AlertJoiner> joiner;
-    std::vector<std::unique_ptr<detectors::Detector>> pool;
-    std::vector<httplog::LogRecord> pending;  ///< dispatcher-side batch
+  /// Dispatcher-ring item: a data batch, or a flush marker (control flows
+  /// in-band through the same FIFO, so a marker's arrival proves every
+  /// earlier batch was already re-routed).
+  struct DispatchItem {
+    RecordBatch batch;
+    std::uint64_t flush_seq = 0;  ///< nonzero = flush marker, no data
   };
 
+  struct Shard {
+    explicit Shard(std::size_t ring_batches) : ring(ring_batches) {}
+    SpscRing<RecordBatch> ring;
+    std::unique_ptr<core::AlertJoiner> joiner;
+    std::vector<std::unique_ptr<detectors::Detector>> pool;
+    RecordBatch pending;  ///< dispatcher-side accumulation for this shard
+    /// Records ever pushed into the ring (owning dispatcher only writes;
+    /// read by drain() after the dispatcher acked a flush, so no torn
+    /// reads matter — but keep it atomic for TSan-visible correctness).
+    std::atomic<std::uint64_t> enqueued{0};
+    /// Dispatcher-observed high water of enqueued - processed (relaxed:
+    /// an instrumentation gauge, not a synchronization point).
+    std::atomic<std::uint64_t> peak_backlog{0};
+    std::mutex idle_mutex;
+    std::condition_variable idle;
+    /// Records evaluated by the worker. Atomic so drain()'s predicate can
+    /// read it; the worker's empty idle_mutex critical section before
+    /// notify pairs the update with the waiter's locked predicate check.
+    std::atomic<std::uint64_t> processed{0};
+  };
+
+  struct Dispatcher {
+    explicit Dispatcher(std::size_t ring_batches) : ring(ring_batches) {}
+    SpscRing<DispatchItem> ring;
+    std::size_t first_shard = 0;  ///< owned range [first_shard, last_shard)
+    std::size_t last_shard = 0;
+    RecordBatch pending;           ///< caller-side accumulation
+    std::uint64_t flush_requested = 0;  ///< caller-side sequence
+    std::mutex ack_mutex;
+    std::condition_variable ack_cv;
+    std::uint64_t flush_acked = 0;  ///< dispatcher-side (under ack_mutex)
+    std::thread thread;
+  };
+
+  void dispatcher_loop(Dispatcher& d);
   void worker_loop(Shard& shard);
-  void flush(Shard& shard);
-  /// Shard selection + batch bookkeeping shared by both process overloads.
-  [[nodiscard]] Shard& route(const httplog::LogRecord& record);
-  void after_enqueue(Shard& shard);
+  /// Routes one record into shard s's pending batch (dispatcher thread).
+  void route_to_shard(std::size_t s, const httplog::LogRecord& record);
+  /// Pushes shard s's pending batch into its ring (dispatcher thread).
+  void flush_shard_pending(Shard& shard);
+  /// Accounts `batch` against the shard's backlog gauges and pushes it
+  /// into the shard ring (dispatcher thread).
+  void push_shard_batch(Shard& shard, RecordBatch&& batch);
+  [[nodiscard]] std::size_t shard_of(const httplog::LogRecord& r) const;
+  /// Flushes the caller-side pending batch of dispatcher d into its ring.
+  void flush_caller_pending(Dispatcher& d);
 
   std::size_t batch_size_;
-  std::size_t max_backlog_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
+  std::vector<std::uint32_t> shard_owner_;  ///< shard index -> dispatcher
   std::vector<std::thread> workers_;
+  BatchPool pool_;
   std::uint64_t dispatched_ = 0;
   bool finished_ = false;
 };
@@ -118,6 +224,6 @@ class ShardedPipeline {
 /// Convenience: run a whole scenario through a sharded pipeline.
 [[nodiscard]] core::JointResults run_sharded(
     const traffic::ScenarioConfig& scenario_config, PoolFactory factory,
-    std::size_t shards);
+    std::size_t shards, std::size_t dispatchers = 1);
 
 }  // namespace divscrape::pipeline

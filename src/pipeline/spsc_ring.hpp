@@ -1,0 +1,134 @@
+// SpscRing: a bounded single-producer/single-consumer ring of batches —
+// the handoff primitive of the batched sharded pipeline.
+//
+// ## Design notes
+//
+// The storage is a flat circular buffer of move-only slots; head/tail are
+// free-running counters (index = counter % capacity), so full/empty are
+// simple counter differences and capacity needs no power-of-two rounding.
+//
+// Synchronization is a mutex + two condition variables rather than a
+// lock-free protocol, deliberately: every push/pop moves a whole
+// RecordBatch (~1k records), so the ring is touched once per ~thousand
+// records and an uncontended lock (~20 ns) amortizes to noise — while a
+// spin-based lock-free ring would burn the consumer's core exactly where
+// this repo runs hottest, the 1-core CI host. The SPSC restriction is a
+// *contract* (one pushing thread, one popping thread), not a property the
+// implementation exploits for lock elision; it is what makes FIFO order
+// per ring — and therefore per-shard record order, and therefore
+// JointResults byte-identity — trivial to reason about.
+//
+// The bounded capacity IS the backpressure: push() blocks while the ring
+// is full, so a producer that outruns its consumer stalls instead of
+// buffering the stream (the unbounded-queue failure mode PR 5 fixed with
+// max_backlog, now enforced structurally).
+//
+// close() ends the stream: pop() drains what remains and then returns
+// false; push() after close throws (producer bug).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace divscrape::pipeline {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is clamped to >= 1. The ring allocates all slots up front.
+  explicit SpscRing(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Blocks while the ring is full (backpressure); throws std::logic_error
+  /// if the ring was closed. Producer thread only.
+  void push(T&& value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return head_ - tail_ < slots_.size() || closed_; });
+    if (closed_) throw std::logic_error("SpscRing: push() after close()");
+    slots_[head_ % slots_.size()] = std::move(value);
+    ++head_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking push; false when full (value untouched) or closed.
+  [[nodiscard]] bool try_push(T&& value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || head_ - tail_ == slots_.size()) return false;
+      slots_[head_ % slots_.size()] = std::move(value);
+      ++head_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the ring is closed *and* drained.
+  /// Returns false only on closed-and-empty — the consumer's exit signal.
+  /// Consumer thread only.
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return tail_ != head_ || closed_; });
+    if (tail_ == head_) return false;  // closed and drained
+    out = std::move(slots_[tail_ % slots_.size()]);
+    ++tail_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when nothing is buffered.
+  [[nodiscard]] bool try_pop(T& out) {
+    {
+      std::lock_guard lock(mutex_);
+      if (tail_ == head_) return false;
+      out = std::move(slots_[tail_ % slots_.size()]);
+      ++tail_;
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: wakes both sides; pop() drains the remainder then
+  /// returns false; further push() throws. Idempotent, any thread.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return static_cast<std::size_t>(head_ - tail_);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> slots_;
+  std::uint64_t head_ = 0;  ///< next slot to write (producer)
+  std::uint64_t tail_ = 0;  ///< next slot to read (consumer)
+  bool closed_ = false;
+};
+
+}  // namespace divscrape::pipeline

@@ -688,7 +688,7 @@ void WorkloadEngine::wait_round() {
                          [&] { return pool_->completed == parts_.size(); });
 }
 
-void WorkloadEngine::merge_window(int buf, const RecordSink& sink) {
+void WorkloadEngine::merge_window(int buf, const EmitFn& emit) {
   // K-way merge of the window's per-partition buffers. The key is
   // (timestamp, partition, per-partition order) — per-partition order is
   // preserved because a partition's next record enters the heap only after
@@ -732,7 +732,7 @@ void WorkloadEngine::merge_window(int buf, const RecordSink& sink) {
         remap[local] = ua_tokens_.intern(record.user_agent);
       record.ua_token = remap[local];
     }
-    sink(std::move(record));
+    emit(record);
     ++emitted_;
     if (head.idx + 1 < buffer.size()) {
       heap.push_back({buffer[head.idx + 1].time.micros(), head.part,
@@ -743,6 +743,37 @@ void WorkloadEngine::merge_window(int buf, const RecordSink& sink) {
 }
 
 std::uint64_t WorkloadEngine::run(const RecordSink& sink) {
+  return run_rounds([&sink](httplog::LogRecord& record) {
+    sink(std::move(record));
+  }, {});
+}
+
+std::uint64_t WorkloadEngine::run_batched(const BatchSink& sink,
+                                          std::size_t batch_records,
+                                          pipeline::BatchPool* pool) {
+  const std::size_t cap = batch_records == 0 ? 1 : batch_records;
+  pipeline::RecordBatch batch =
+      pool ? pool->acquire() : pipeline::RecordBatch{};
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    pipeline::RecordBatch full = std::move(batch);
+    batch = pool ? pool->acquire() : pipeline::RecordBatch{};
+    sink(std::move(full));
+  };
+  const std::uint64_t n = run_rounds(
+      [&](httplog::LogRecord& record) {
+        // Copy-assign into a warm slot; the merge buffer keeps its record
+        // (its storage is recycled by the next generation round anyway).
+        batch.append_slot() = record;
+        if (batch.size() >= cap) flush();
+      },
+      flush);  // batches never span merge windows
+  flush();     // a stop_requested() cancel can leave a final partial
+  return n;
+}
+
+std::uint64_t WorkloadEngine::run_rounds(
+    const EmitFn& emit, const std::function<void()>& on_window_end) {
   if (ran_) throw std::logic_error("WorkloadEngine: run() called twice");
   ran_ = true;
   if (spec_.vhosts.empty()) return 0;
@@ -780,7 +811,8 @@ std::uint64_t WorkloadEngine::run(const RecordSink& sink) {
       gen_buf ^= 1;
       start_round(horizon_of(next_window++), gen_buf);
     }
-    merge_window(merge_buf, sink);
+    merge_window(merge_buf, emit);
+    if (on_window_end) on_window_end();
     if (!more) break;
     wait_round();
   }

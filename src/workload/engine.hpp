@@ -51,6 +51,7 @@
 
 #include "httplog/record.hpp"
 #include "httplog/timestamp.hpp"
+#include "pipeline/record_batch.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/site.hpp"
 #include "util/interner.hpp"
@@ -91,6 +92,8 @@ class WorkloadEngine {
  public:
   /// Receives the merged, time-ordered record stream.
   using RecordSink = std::function<void(httplog::LogRecord&&)>;
+  /// Receives the merged stream framed into RecordBatches (batch mode).
+  using BatchSink = std::function<void(pipeline::RecordBatch&&)>;
 
   explicit WorkloadEngine(ScenarioSpec spec,
                           EngineConfig config = EngineConfig());
@@ -102,6 +105,18 @@ class WorkloadEngine {
   /// Generates the whole scenario into `sink`, time-ordered. Callable
   /// exactly once; returns the number of records emitted.
   std::uint64_t run(const RecordSink& sink);
+
+  /// Batch-mode run: the engine already produces whole sorted time windows,
+  /// so it hands them downstream as RecordBatches of `batch_records`
+  /// (copy-assigned into warm slots — the arena contract) instead of one
+  /// record at a time. A partial batch is flushed at every merge-window
+  /// boundary, so a batch never spans windows and the emission order is
+  /// identical to run(). Wire `pool` to the consumer's recycle side (e.g.
+  /// &pipeline.batch_pool()) to close the arena loop. Callable exactly
+  /// once (shares run()'s once-only contract); returns records emitted.
+  std::uint64_t run_batched(const BatchSink& sink,
+                            std::size_t batch_records = 1024,
+                            pipeline::BatchPool* pool = nullptr);
 
   /// Cooperative cancellation (signal-handler driven): run() stops merging
   /// at the next record boundary, finishes the in-flight worker round, and
@@ -128,6 +143,9 @@ class WorkloadEngine {
 
  private:
   struct Partition;
+  /// Merge-time emission hook: receives each record as a mutable lvalue
+  /// (record mode moves it out; batch mode copy-assigns into a warm slot).
+  using EmitFn = std::function<void(httplog::LogRecord&)>;
 
   [[nodiscard]] traffic::TrafficGenerator::Materialized materialize(
       std::uint64_t cookie) const;
@@ -135,7 +153,11 @@ class WorkloadEngine {
   void build_partition(Partition& part) const;
   static void generate_window(Partition& part, httplog::Timestamp horizon,
                               int buf);
-  void merge_window(int buf, const RecordSink& sink);
+  /// The generate/merge round loop shared by run() and run_batched();
+  /// `on_window_end` (optional) fires after each merged window.
+  std::uint64_t run_rounds(const EmitFn& emit,
+                           const std::function<void()>& on_window_end);
+  void merge_window(int buf, const EmitFn& emit);
   void worker_loop();
   void start_round(httplog::Timestamp horizon, int buf);
   void wait_round();

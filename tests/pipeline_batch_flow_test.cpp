@@ -1,0 +1,241 @@
+// Batch-flow unit coverage: the RecordBatch arena contract, the BatchPool
+// recycle loop, SpscRing FIFO/close/backpressure semantics, the
+// LineDecoder batch-mode flush invariant, MultiTailer batch framing, and
+// the ShardedPipeline's backpressure bound and batch-size unobservability.
+// The full results-identity matrix lives in
+// pipeline_shard_equivalence_test.cpp; this file pins the building blocks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/export.hpp"
+#include "detectors/registry.hpp"
+#include "httplog/clf.hpp"
+#include "httplog/record.hpp"
+#include "pipeline/decoder.hpp"
+#include "pipeline/multi_tailer.hpp"
+#include "pipeline/record_batch.hpp"
+#include "pipeline/sharded.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "traffic/stream_writer.hpp"
+
+namespace {
+
+using namespace divscrape;
+using pipeline::BatchPool;
+using pipeline::RecordBatch;
+using pipeline::ShardedPipeline;
+using pipeline::SpscRing;
+
+httplog::LogRecord make_record(int i) {
+  httplog::LogRecord r;
+  r.ip = httplog::Ipv4(10, 0, static_cast<std::uint8_t>(i % 7),
+                       static_cast<std::uint8_t>(1 + i % 200));
+  r.time = httplog::Timestamp{1'500'000'000'000'000LL + i * 250'000LL};
+  r.target = "/item/" + std::to_string(i % 13);
+  r.status = 200;
+  r.bytes = 512;
+  r.bytes_dash = false;
+  r.user_agent = "Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/115.0";
+  return r;
+}
+
+TEST(RecordBatchTest, AppendRollbackClearKeepSlots) {
+  RecordBatch batch;
+  EXPECT_TRUE(batch.empty());
+  for (int i = 0; i < 10; ++i) batch.append_slot() = make_record(i);
+  EXPECT_EQ(batch.size(), 10u);
+  EXPECT_EQ(batch[3].target, "/item/3");
+
+  batch.rollback_last();
+  EXPECT_EQ(batch.size(), 9u);
+  EXPECT_EQ(batch.slot_capacity(), 10u);  // the slot stays allocated
+
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.slot_capacity(), 10u);  // arena contract: slots survive
+
+  // Refill reuses the same slots; capacity does not grow until exceeded.
+  for (int i = 0; i < 10; ++i) batch.append_slot() = make_record(100 + i);
+  EXPECT_EQ(batch.slot_capacity(), 10u);
+  EXPECT_EQ(batch[0].target, "/item/" + std::to_string(100 % 13));
+}
+
+TEST(RecordBatchTest, PoolRecyclesWarmBatches) {
+  BatchPool pool;
+  EXPECT_EQ(pool.idle(), 0u);
+  RecordBatch batch = pool.acquire();  // pool empty -> fresh batch
+  for (int i = 0; i < 32; ++i) batch.append_slot() = make_record(i);
+  pool.recycle(std::move(batch));
+  EXPECT_EQ(pool.idle(), 1u);
+
+  RecordBatch warm = pool.acquire();
+  EXPECT_EQ(pool.idle(), 0u);
+  EXPECT_TRUE(warm.empty());               // recycled cleared...
+  EXPECT_EQ(warm.slot_capacity(), 32u);    // ...but the arena came back
+}
+
+TEST(SpscRingTest, FifoOrderAndCloseSemantics) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) ring.push(int{i});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));  // full
+
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);  // strict FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+
+  ring.push(7);
+  ring.close();
+  ASSERT_TRUE(ring.pop(out));  // close drains what remains...
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(ring.pop(out));  // ...then signals end-of-stream
+  EXPECT_THROW(ring.push(8), std::logic_error);
+}
+
+TEST(SpscRingTest, CapacityClampedToOne) {
+  SpscRing<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(1);
+  EXPECT_FALSE(ring.try_push(2));
+}
+
+TEST(SpscRingTest, BlockingHandoffDeliversEverythingInOrder) {
+  // Producer outruns a slow consumer through a tiny ring: push() must
+  // block (backpressure) instead of dropping, and order must hold.
+  SpscRing<int> ring(2);
+  constexpr int kItems = 500;
+  std::vector<int> received;
+  std::thread consumer([&] {
+    int v;
+    while (ring.pop(v)) received.push_back(v);
+  });
+  for (int i = 0; i < kItems; ++i) ring.push(int{i});
+  ring.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(LineDecoderBatchMode, FlushesPartialBatchAtFeedBoundary) {
+  std::vector<std::size_t> batch_sizes;
+  std::uint64_t records_seen = 0;
+  BatchPool pool;
+  pipeline::LineDecoder decoder(
+      [&](RecordBatch&& b) {
+        batch_sizes.push_back(b.size());
+        records_seen += b.size();
+        pool.recycle(std::move(b));
+      },
+      4, &pool);
+
+  std::string text;
+  for (int i = 0; i < 10; ++i) text += httplog::format_clf(make_record(i)) + "\n";
+  text += "torn partial without newline";
+  EXPECT_EQ(decoder.feed(text), 10u);
+  // 10 records at batch size 4: two full batches + the partial batch of 2,
+  // flushed before feed() returned (the checkpoint invariant).
+  EXPECT_EQ(records_seen, 10u);
+  ASSERT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(batch_sizes[0], 4u);
+  EXPECT_EQ(batch_sizes[1], 4u);
+  EXPECT_EQ(batch_sizes[2], 2u);
+  EXPECT_TRUE(decoder.has_partial_line());  // the torn tail is held, not lost
+
+  (void)decoder.finish_stream();  // torn tail is garbage -> skipped
+  EXPECT_EQ(decoder.stats().skipped, 1u);
+  EXPECT_EQ(records_seen, 10u);
+}
+
+TEST(LineDecoderBatchMode, ParseFailureRollsBackTheSlot) {
+  std::uint64_t records_seen = 0;
+  pipeline::LineDecoder decoder(
+      [&](RecordBatch&& b) {
+        for (const auto& r : b) EXPECT_EQ(r.status, 200);
+        records_seen += b.size();
+      },
+      64);
+  std::string text = httplog::format_clf(make_record(1)) + "\n" +
+                     "this is not CLF\n" +
+                     httplog::format_clf(make_record(2)) + "\n";
+  EXPECT_EQ(decoder.feed(text), 2u);
+  EXPECT_EQ(records_seen, 2u);  // the failed line never reached a batch
+  EXPECT_EQ(decoder.stats().skipped, 1u);
+}
+
+TEST(MultiTailerBatchMode, FramesMergedStreamIntoBatches) {
+  const std::string path =
+      ::testing::TempDir() + "divscrape_batchflow_" +
+      std::to_string(::getpid()) + ".log";
+  traffic::StreamWriter writer(path);
+  std::vector<std::size_t> batch_sizes;
+  std::uint64_t records_seen = 0;
+  BatchPool pool;
+  pipeline::MultiTailer tailer(
+      {path},
+      pipeline::MultiTailer::BatchSink([&](RecordBatch&& b) {
+        batch_sizes.push_back(b.size());
+        records_seen += b.size();
+        pool.recycle(std::move(b));
+      }),
+      8, pipeline::MultiTailConfig{}, &pool);
+
+  for (int i = 0; i < 20; ++i) writer.write(make_record(i));
+  (void)tailer.poll();
+  (void)tailer.flush();
+  EXPECT_EQ(records_seen, 20u);
+  for (const std::size_t s : batch_sizes) EXPECT_LE(s, 8u);
+  // poll()/flush() never buffer a partial batch across calls.
+  for (int i = 20; i < 23; ++i) writer.write(make_record(i));
+  (void)tailer.poll();
+  (void)tailer.flush();
+  EXPECT_EQ(records_seen, 23u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedBatchFlow, BacklogStaysWithinConfiguredBound) {
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kMaxBacklog = 32;
+  ShardedPipeline pipeline([] { return detectors::make_paper_pair(); },
+                           /*shards=*/2, kBatch, kMaxBacklog,
+                           /*dispatchers=*/2);
+  for (int i = 0; i < 5000; ++i) pipeline.process(make_record(i));
+  pipeline.drain();
+  // Structural bound: rings hold max_backlog/batch batches, plus one batch
+  // mid-push and one mid-process per shard.
+  EXPECT_LE(pipeline.peak_shard_backlog(), kMaxBacklog + 2 * kBatch);
+  EXPECT_EQ(pipeline.dispatched(), 5000u);
+  (void)pipeline.finish();
+}
+
+TEST(ShardedBatchFlow, BatchSizeIsNotObservableInResults) {
+  // The degenerate 1-record-per-batch pipeline and a large-batch pipeline
+  // must produce byte-identical JSON — batch size is an execution knob.
+  const auto run_with = [](std::size_t batch_size, std::size_t dispatchers) {
+    ShardedPipeline pipeline([] { return detectors::make_paper_pair(); },
+                             /*shards=*/3, batch_size, 16 * 1024, dispatchers);
+    RecordBatch batch = pipeline.batch_pool().acquire();
+    for (int i = 0; i < 2000; ++i) {
+      batch.append_slot() = make_record(i);
+      // Hand over at awkward, varying batch boundaries.
+      if (batch.size() == 1 + static_cast<std::size_t>(i % 5)) {
+        pipeline.process_batch(std::move(batch));
+        batch = pipeline.batch_pool().acquire();
+      }
+    }
+    if (!batch.empty()) pipeline.process_batch(std::move(batch));
+    return core::to_json(pipeline.finish());
+  };
+  const std::string one_record = run_with(1, 1);
+  EXPECT_EQ(run_with(1024, 1), one_record);
+  EXPECT_EQ(run_with(7, 2), one_record);
+  EXPECT_EQ(run_with(256, 3), one_record);
+}
+
+}  // namespace

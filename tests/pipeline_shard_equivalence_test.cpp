@@ -1,18 +1,23 @@
-// Shard-equivalence regression: a ShardedPipeline (1, 2, 8 shards) must
-// produce JointResults *identical* to a sequential ReplayEngine run over the
-// same CLF stream, as promised by the correctness comment in
-// src/pipeline/sharded.hpp. Both sides consume the serialized-then-reparsed
-// stream so they see byte-identical records (ground truth is sidecar
-// metadata and does not survive the wire).
+// Shard-equivalence regression: a ShardedPipeline must produce JointResults
+// *identical* to a sequential ReplayEngine run over the same CLF stream at
+// EVERY (shards, dispatchers, batch size) combination, as promised by the
+// correctness comment in src/pipeline/sharded.hpp — the combination is an
+// execution knob, never an observable. Both the per-record seam (process)
+// and the batch seam (LineDecoder batch mode -> process_batch) are pinned.
+// Both sides consume the serialized-then-reparsed stream so they see
+// byte-identical records (ground truth is sidecar metadata and does not
+// survive the wire).
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/joiner.hpp"
 #include "detectors/registry.hpp"
 #include "httplog/io.hpp"
+#include "pipeline/decoder.hpp"
 #include "pipeline/replay.hpp"
 #include "pipeline/sharded.hpp"
 #include "traffic/scenario.hpp"
@@ -23,6 +28,8 @@ using divscrape::core::JointResults;
 using divscrape::detectors::make_paper_pair;
 using divscrape::httplog::LogRecord;
 using divscrape::httplog::Truth;
+using divscrape::pipeline::LineDecoder;
+using divscrape::pipeline::RecordBatch;
 using divscrape::pipeline::ReplayEngine;
 using divscrape::pipeline::ShardedPipeline;
 
@@ -123,14 +130,19 @@ const SequentialBaseline& sequential_baseline() {
   return baseline;
 }
 
-class ShardEquivalenceTest : public ::testing::TestWithParam<std::size_t> {};
+// (shards, dispatchers, batch size)
+using Combo = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class ShardEquivalenceTest : public ::testing::TestWithParam<Combo> {};
 
 TEST_P(ShardEquivalenceTest, ShardedMatchesSequentialReplay) {
   const auto& [stats, sequential] = sequential_baseline();
   ASSERT_GT(stats.parsed, 0u);
   ASSERT_EQ(stats.skipped, 0u);
+  const auto [shards, dispatchers, batch] = GetParam();
 
-  ShardedPipeline pipeline([] { return make_paper_pair(); }, GetParam());
+  ShardedPipeline pipeline([] { return make_paper_pair(); }, shards, batch,
+                           16 * 1024, dispatchers);
   std::istringstream sharded_in(scenario_clf_text());
   divscrape::httplog::LogReader reader(sharded_in);
   LogRecord r;
@@ -141,7 +153,40 @@ TEST_P(ShardEquivalenceTest, ShardedMatchesSequentialReplay) {
   expect_joint_results_identical(sharded, sequential);
 }
 
-INSTANTIATE_TEST_SUITE_P(Shards, ShardEquivalenceTest,
-                         ::testing::Values(1, 2, 8));
+// Same contract through the batch seam: LineDecoder frames the byte stream
+// into RecordBatches which move into the pipeline whole. The batch pool is
+// wired through, so this also exercises the full recycle loop.
+TEST_P(ShardEquivalenceTest, BatchSeamMatchesSequentialReplay) {
+  const auto& [stats, sequential] = sequential_baseline();
+  ASSERT_GT(stats.parsed, 0u);
+  const auto [shards, dispatchers, batch] = GetParam();
+
+  ShardedPipeline pipeline([] { return make_paper_pair(); }, shards, batch,
+                           16 * 1024, dispatchers);
+  LineDecoder decoder(
+      [&pipeline](RecordBatch&& b) { pipeline.process_batch(std::move(b)); },
+      batch, &pipeline.batch_pool());
+  (void)decoder.feed(scenario_clf_text());
+  (void)decoder.finish_stream();
+  const auto sharded = pipeline.finish();
+
+  EXPECT_EQ(pipeline.dispatched(), stats.parsed);
+  expect_joint_results_identical(sharded, sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, ShardEquivalenceTest,
+    ::testing::Values(Combo{1, 1, 1024}, Combo{2, 1, 1024},
+                      Combo{8, 1, 1024},  // the historical shard sweep
+                      Combo{8, 4, 64},    // multi-dispatcher, small batches
+                      Combo{4, 2, 1},     // degenerate 1-record batches
+                      Combo{3, 2, 7},     // uneven shard ranges, odd batch
+                      Combo{8, 8, 256},   // dispatcher per shard
+                      Combo{2, 2, 1024}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "d" +
+             std::to_string(std::get<1>(info.param)) + "b" +
+             std::to_string(std::get<2>(info.param));
+    });
 
 }  // namespace

@@ -436,6 +436,91 @@ TEST(WarmResumeSharded, KillAtPhaseBoundaryIsByteIdentical) {
   }
 }
 
+// The batch seam under kill: records travel as RecordBatches through the
+// dispatcher and shard rings. After the committed checkpoint, the first
+// incarnation keeps feeding — those batches are in flight inside the rings
+// when the destructor abort fires (the crash). Nothing past the commit
+// point was checkpointed, so the resumed incarnation re-reads those
+// records from the files and the result is byte-identical. The resume
+// deliberately uses a DIFFERENT batch size and dispatcher count: both are
+// execution knobs, not state, and must not be observable across a resume.
+TEST(WarmResumeSharded, BatchedKillWithInFlightBatchesIsByteIdentical) {
+  const auto& all = records();
+  const std::size_t phase_split = all.size() / 2;
+  const std::size_t in_flight_end = phase_split + 90;
+  ASSERT_LT(in_flight_end, all.size());
+  const std::string baseline = uninterrupted_sharded("batch_base", phase_split);
+
+  MultiLogs logs("batch_kill");
+  pipeline::TailSessionState session;
+  {
+    pipeline::ShardedPipeline sharded(
+        [] { return detectors::make_paper_pair(); }, kShards,
+        /*batch_size=*/7, /*max_backlog=*/16 * 1024, /*dispatchers=*/2);
+    util::StringInterner ua_tokens;
+    pipeline::MultiTailer tailer(
+        logs.paths,
+        pipeline::MultiTailer::BatchSink(
+            [&](pipeline::RecordBatch&& batch) {
+              for (auto& record : batch)
+                record.ua_token = ua_tokens.intern(record.user_agent);
+              sharded.process_batch(std::move(batch));
+            }),
+        /*batch_records=*/7, pipeline::MultiTailConfig{},
+        &sharded.batch_pool());
+    logs.write_range(0, phase_split);
+    (void)tailer.poll();
+    (void)tailer.flush();
+    // Commit: save_state drains, so the blob covers exactly the records
+    // the offsets below cover — none of them hiding in a batch or a ring.
+    util::StateWriter w;
+    ua_tokens.save_state(w);
+    ASSERT_TRUE(sharded.save_state(w));
+    for (std::size_t i = 0; i < tailer.files(); ++i) {
+      session.logs.emplace_back(tailer.path(i), tailer.checkpoint(i));
+    }
+    session.state = w.take();
+    const auto wire = pipeline::TailSessionState::from_json(session.to_json());
+    ASSERT_TRUE(wire.has_value());
+    session = *wire;
+    // Keep feeding PAST the committed checkpoint without draining: these
+    // batches are in the rings when the abort fires below.
+    logs.write_range(phase_split, in_flight_end);
+    (void)tailer.poll();
+  }  // the kill, with batches in flight
+
+  {
+    pipeline::ShardedPipeline sharded(
+        [] { return detectors::make_paper_pair(); }, kShards,
+        /*batch_size=*/64, /*max_backlog=*/16 * 1024, /*dispatchers=*/1);
+    util::StringInterner ua_tokens;
+    pipeline::MultiTailer tailer(
+        logs.paths,
+        pipeline::MultiTailer::BatchSink(
+            [&](pipeline::RecordBatch&& batch) {
+              for (auto& record : batch)
+                record.ua_token = ua_tokens.intern(record.user_agent);
+              sharded.process_batch(std::move(batch));
+            }),
+        /*batch_records=*/64, pipeline::MultiTailConfig{},
+        &sharded.batch_pool());
+    util::StateReader r(session.state);
+    ASSERT_TRUE(ua_tokens.load_state(r));
+    ASSERT_TRUE(sharded.load_state(r));
+    EXPECT_TRUE(r.at_end());
+    ASSERT_EQ(session.logs.size(), tailer.files());
+    for (std::size_t i = 0; i < tailer.files(); ++i) {
+      ASSERT_TRUE(tailer.resume(i, session.logs[i].second));
+    }
+    // The in-flight range is already on disk (written by the dead
+    // incarnation past its commit point); only the rest is written here.
+    logs.write_range(in_flight_end, all.size());
+    (void)tailer.poll();
+    (void)tailer.flush();
+    EXPECT_EQ(core::to_json(sharded.finish()), baseline);
+  }
+}
+
 // A sharded blob must not restore into a pipeline with a different shard
 // count — per-/24 state would land on the wrong workers.
 TEST(WarmResumeSharded, ShardCountMismatchFallsBackCold) {

@@ -37,6 +37,9 @@
 //   --detect            feed the stream to the sentinel+arcane pair and
 //                       print the joint summary
 //   --shards <n>        with --detect: sharded detection on n workers
+//   --dispatchers <m>   with --shards: m dispatcher threads, each owning a
+//                       contiguous shard range (default 1); records travel
+//                       as RecordBatches through SPSC rings either way
 //
 // Soak options (see pipeline/chaos.hpp for the full contract):
 //   --out <dir>         work directory (live logs, shadows, checkpoints;
@@ -56,7 +59,9 @@
 //                         offsets + the shared detector state, committed
 //                         last so warm resume always sees a consistent cut
 //   --shards <n>          dispatch merged records to a ShardedPipeline with
-//                         n worker threads (results print at exit)
+//                         n worker threads (results print at exit); the
+//                         merged stream is framed into RecordBatches
+//   --dispatchers <m>     (tail, with --shards) m dispatcher threads
 //   --reorder-ms <n>      multi-file merge reorder window (default 2000)
 //   --follow              keep polling after catching up (stop with SIGINT)
 //   --poll-ms <n>         follow-mode poll interval (default 200)
@@ -131,6 +136,7 @@ struct CliOptions {
   int poll_ms = 200;
   int reorder_ms = 2000;
   std::size_t shards = 1;
+  std::size_t dispatchers = 1;
   std::size_t gen_threads = 1;
   std::size_t partitions = 0;  ///< 0 = engine default
   std::uint64_t flush_every = 100000;
@@ -156,6 +162,8 @@ int usage() {
       "  --checkpoint <file>   (tail, 1 log) resume/persist ingest position\n"
       "  --checkpoint-dir <d>  (tail) per-log checkpoints under one dir\n"
       "  --shards <n>          (tail) sharded detection, n worker threads\n"
+      "  --dispatchers <m>     (tail/simulate, with --shards) dispatcher "
+      "threads\n"
       "  --reorder-ms <n>      (tail) merge reorder window, default 2000\n"
       "  --follow              (tail) keep polling; SIGINT checkpoints+exits\n"
       "  --poll-ms <n>         (tail) follow poll interval, default 200\n"
@@ -219,6 +227,13 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const long v = std::strtol(n, &end, 10);
       if (end == n || *end != '\0' || v < 1 || v > 64) return false;
       opts.shards = static_cast<std::size_t>(v);
+    } else if (arg == "--dispatchers") {
+      const char* n = next();
+      if (!n) return false;
+      char* end = nullptr;
+      const long v = std::strtol(n, &end, 10);
+      if (end == n || *end != '\0' || v < 1 || v > 64) return false;
+      opts.dispatchers = static_cast<std::size_t>(v);
     } else if (arg == "--reorder-ms") {
       const char* n = next();
       if (!n) return false;
@@ -428,7 +443,8 @@ int cmd_simulate(const CliOptions& opts) {
   if (opts.detect) {
     if (opts.shards > 1) {
       sharded = std::make_unique<pipeline::ShardedPipeline>(
-          [&opts] { return pair_from(opts.config); }, opts.shards);
+          [&opts] { return pair_from(opts.config); }, opts.shards,
+          /*batch_size=*/1024, /*max_backlog=*/16 * 1024, opts.dispatchers);
     } else {
       pool = pair_from(opts.config);
       joiner = std::make_unique<core::AlertJoiner>(pool);
@@ -440,22 +456,33 @@ int cmd_simulate(const CliOptions& opts) {
   // boundary and every writer below gets its normal flush-and-close.
   std::signal(SIGINT, tail_sigint);
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t records =
-      engine.run([&](httplog::LogRecord&& record) {
-        if (g_tail_interrupted) engine.request_stop();
-        if (file_writer) file_writer->write(record);
-        if (!vhost_writers.empty()) {
-          const std::size_t v =
-              record.vhost < vhost_writers.size() ? record.vhost : 0;
-          vhost_writers[v]->write(record);
-        }
-        if (stdout_log) stdout_writer.write(record);
-        if (joiner) {
-          (void)joiner->process(record);
-        } else if (sharded) {
-          sharded->process(std::move(record));
-        }
-      });
+  const auto write_record = [&](const httplog::LogRecord& record) {
+    if (file_writer) file_writer->write(record);
+    if (!vhost_writers.empty()) {
+      const std::size_t v =
+          record.vhost < vhost_writers.size() ? record.vhost : 0;
+      vhost_writers[v]->write(record);
+    }
+    if (stdout_log) stdout_writer.write(record);
+  };
+  std::uint64_t records = 0;
+  if (sharded) {
+    // Batched handoff: whole merge windows travel as RecordBatches into
+    // the pipeline's SPSC rings (same emission order as engine.run()).
+    records = engine.run_batched(
+        [&](pipeline::RecordBatch&& batch) {
+          if (g_tail_interrupted) engine.request_stop();
+          for (const auto& record : batch) write_record(record);
+          sharded->process_batch(std::move(batch));
+        },
+        /*batch_records=*/1024, &sharded->batch_pool());
+  } else {
+    records = engine.run([&](httplog::LogRecord&& record) {
+      if (g_tail_interrupted) engine.request_stop();
+      write_record(record);
+      if (joiner) (void)joiner->process(record);
+    });
+  }
   if (file_writer) file_writer->flush();
   for (auto& writer : vhost_writers) writer->flush();
   std::optional<core::JointResults> sharded_results;
@@ -597,26 +624,38 @@ int cmd_tail_multi(const CliOptions& opts) {
   std::unique_ptr<pipeline::ReplayEngine> engine;
   std::unique_ptr<pipeline::ShardedPipeline> sharded;
   util::StringInterner ua_tokens;  // sharded dispatch stamps here
-  pipeline::MultiTailer::RecordSink sink;
-  if (opts.shards > 1) {
-    sharded = std::make_unique<pipeline::ShardedPipeline>(
-        [&opts] { return pair_from(opts.config); }, opts.shards);
-    sink = [&](httplog::LogRecord&& record) {
-      record.ua_token = ua_tokens.intern(record.user_agent);
-      sharded->process(std::move(record));
-    };
-  } else {
-    pool = pair_from(opts.config);
-    engine = std::make_unique<pipeline::ReplayEngine>(pool);
-    sink = [&](httplog::LogRecord&& record) {
-      engine->process_record(std::move(record));
-    };
-  }
-
   pipeline::MultiTailConfig tail_config;
   tail_config.reorder_window_us =
       static_cast<std::int64_t>(opts.reorder_ms) * 1000;
-  pipeline::MultiTailer tailer(opts.inputs, std::move(sink), tail_config);
+  // Sharded consumption takes the batch seam: the merged stream is framed
+  // into RecordBatches (partial batches flush at every poll, so checkpoint
+  // offsets never cover records hiding in a batch) and whole batches move
+  // through the dispatcher rings. Sequential keeps the per-record sink.
+  const auto make_tailer = [&]() -> pipeline::MultiTailer {
+    if (opts.shards > 1) {
+      sharded = std::make_unique<pipeline::ShardedPipeline>(
+          [&opts] { return pair_from(opts.config); }, opts.shards,
+          /*batch_size=*/1024, /*max_backlog=*/16 * 1024, opts.dispatchers);
+      return pipeline::MultiTailer(
+          opts.inputs,
+          pipeline::MultiTailer::BatchSink(
+              [&](pipeline::RecordBatch&& batch) {
+                for (auto& record : batch)
+                  record.ua_token = ua_tokens.intern(record.user_agent);
+                sharded->process_batch(std::move(batch));
+              }),
+          /*batch_records=*/1024, tail_config, &sharded->batch_pool());
+    }
+    pool = pair_from(opts.config);
+    engine = std::make_unique<pipeline::ReplayEngine>(pool);
+    return pipeline::MultiTailer(
+        opts.inputs,
+        [&](httplog::LogRecord&& record) {
+          engine->process_record(std::move(record));
+        },
+        tail_config);
+  };
+  pipeline::MultiTailer tailer = make_tailer();
 
   // The session file carries the detection-state blob plus the per-log
   // offsets it covers; the per-log .cp.json files stay operator-visible and
@@ -794,10 +833,10 @@ int cmd_tail_multi(const CliOptions& opts) {
 
   const auto stats = tailer.stats();
   std::printf(
-      "tailed %zu logs (%zu shards): %s records parsed, %s lines skipped, "
-      "%llu rotations, %llu truncations, %llu lost incarnations, %llu read "
-      "errors, %llu late, %llu forced\n",
-      tailer.files(), opts.shards,
+      "tailed %zu logs (%zu shards, %zu dispatchers): %s records parsed, "
+      "%s lines skipped, %llu rotations, %llu truncations, %llu lost "
+      "incarnations, %llu read errors, %llu late, %llu forced\n",
+      tailer.files(), opts.shards, opts.shards > 1 ? opts.dispatchers : 0,
       core::with_thousands(stats.parsed).c_str(),
       core::with_thousands(stats.skipped).c_str(),
       static_cast<unsigned long long>(tailer.rotations()),
