@@ -11,7 +11,9 @@
 
 #include "bench_common.hpp"
 #include "detectors/arcane.hpp"
+#include "detectors/detector.hpp"
 #include "detectors/sentinel.hpp"
+#include "eval/scorer.hpp"
 
 namespace {
 
@@ -19,6 +21,7 @@ using namespace divscrape;
 
 struct Cells {
   std::uint64_t both = 0, neither = 0, s_only = 0, a_only = 0;
+  double ensemble_recall = 0.0;  ///< 1oo2 recall from eval::Scorer
 };
 
 Cells run_pair(const traffic::ScenarioConfig& scenario,
@@ -26,11 +29,15 @@ Cells run_pair(const traffic::ScenarioConfig& scenario,
   detectors::SentinelDetector sentinel(sc);
   detectors::ArcaneDetector arcane(ac);
   traffic::Scenario source(scenario);
+  eval::Scorer scorer({"sentinel", "arcane"});
   httplog::LogRecord record;
   Cells cells;
   while (source.next(record)) {
-    const bool s = sentinel.evaluate(record).alert;
-    const bool a = arcane.evaluate(record).alert;
+    const detectors::Verdict verdicts[2] = {sentinel.evaluate(record),
+                                            arcane.evaluate(record)};
+    scorer.observe(record, verdicts);
+    const bool s = verdicts[0].alert;
+    const bool a = verdicts[1].alert;
     if (s && a)
       ++cells.both;
     else if (s)
@@ -40,15 +47,18 @@ Cells run_pair(const traffic::ScenarioConfig& scenario,
     else
       ++cells.neither;
   }
+  const auto score = scorer.finish("amadeus_like", 1.0);
+  cells.ensemble_recall = score.columns.back().recall();
   return cells;
 }
 
 void print_row(const char* name, const Cells& c) {
-  std::printf("  %-34s %12s %12s %12s %12s\n", name,
+  std::printf("  %-34s %12s %12s %12s %12s %10.1f%%\n", name,
               core::with_thousands(c.both).c_str(),
               core::with_thousands(c.neither).c_str(),
               core::with_thousands(c.s_only).c_str(),
-              core::with_thousands(c.a_only).c_str());
+              core::with_thousands(c.a_only).c_str(),
+              100.0 * c.ensemble_recall);
 }
 
 }  // namespace
@@ -57,8 +67,8 @@ int main(int argc, char** argv) {
   const double scale = bench::parse_scale(argc, argv, 0.15);
   const auto scenario = traffic::amadeus_like(scale);
   std::printf("# ablation of detector mechanisms, scale=%.3f\n\n", scale);
-  std::printf("  %-34s %12s %12s %12s %12s\n", "configuration", "both",
-              "neither", "sentinel-only", "arcane-only");
+  std::printf("  %-34s %12s %12s %12s %12s %11s\n", "configuration", "both",
+              "neither", "sentinel-only", "arcane-only", "1oo2-recall");
 
   detectors::SentinelConfig base_s;
   detectors::ArcaneConfig base_a;

@@ -1,111 +1,58 @@
-// Experiment E13: adversarial evasion. A scraper fleet progressively adds
-// counter-detection features — browser mimicry (camouflage asset
-// fetches), per-session UA rotation, per-session IP rotation — and the
-// bench measures what each evasion step costs each detector and the 1oo2
-// ensemble.
+// Experiment E13: adversarial evasion. The red-tier catalog ladder
+// (evasion_ladder_e0..e4) adds one counter-detection capability per tier —
+// browser mimicry (camouflage asset fetches), per-session UA rotation,
+// per-session IP rotation, human think-time pacing — and the bench
+// measures what each step costs each detector and the 1oo2 ensemble.
 //
 // This is the constructive version of the paper's closing argument: the
 // two tools fail differently, so an adversary must defeat *both*
 // mechanism families at once, and the 1oo2 ensemble degrades far more
-// gracefully than either tool alone.
+// gracefully than either tool alone. The scoring (and the machine-readable
+// document, when you want one) lives in eval::Scorer / bench_detection;
+// this bench is the human-readable ladder view.
 //
-// Usage: bench_evasion
+// Usage: bench_evasion [scale]   (default 0.5)
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/confusion.hpp"
-#include "detectors/registry.hpp"
-#include "traffic/generator.hpp"
-#include "traffic/scrapers.hpp"
-#include "traffic/site.hpp"
-#include "traffic/ua_pool.hpp"
+#include "bench_common.hpp"
+#include "eval/run.hpp"
+#include "workload/catalog.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace divscrape;
 
-using namespace divscrape;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  std::printf("# E13: adversarial evasion ladder, scale=%.3f\n\n", scale);
 
-struct EvasionLevel {
-  std::string name;
-  double asset_mimicry = 0.0;
-  bool rotate_ua = false;
-  bool rotate_ip = false;
-  double gap_mean_s = 0.5;
-};
-
-struct Outcome {
-  core::ConfusionMatrix sentinel;
-  core::ConfusionMatrix arcane;
-  core::ConfusionMatrix union_1oo2;
-};
-
-Outcome run_level(const EvasionLevel& level) {
-  using httplog::Timestamp;
-  const Timestamp start = Timestamp::from_civil(2018, 3, 11);
-  const Timestamp end = start + 2 * httplog::kMicrosPerDay;
-  traffic::SiteModel::Config site_config;
-  site_config.catalogue_size = 20'000;
-  auto site = std::make_unique<traffic::SiteModel>(site_config);
-  traffic::TrafficGenerator generator(end);
-
-  stats::Rng root(level.rotate_ip ? 4242u : 4242u);  // same seed per level
-  // 40 evasive fleet members.
-  for (int b = 0; b < 40; ++b) {
-    stats::Rng rng = root.fork();
-    traffic::BotProfile profile;
-    profile.cls = traffic::ActorClass::kScraperAggressive;
-    profile.ip = httplog::Ipv4(45, 140, 0,
-                               static_cast<std::uint8_t>(2 + b % 200));
-    profile.user_agent = std::string(traffic::sample_browser_ua(rng));
-    profile.gap_mean_s = level.gap_mean_s;
-    profile.session_len_mean = 250;
-    profile.pause_mean_s = 14'400;
-    profile.p_asset_mimicry = level.asset_mimicry;
-    profile.rotate_ua_per_session = level.rotate_ua;
-    profile.rotate_ip_per_session = level.rotate_ip;
-    profile.referer_p = level.asset_mimicry > 0 ? 0.6 : 0.05;
-    auto bot = std::make_unique<traffic::ScraperBot>(
-        *site, std::move(profile), end, rng, 1000 + b);
-    generator.add_actor(std::move(bot),
-                        start + httplog::seconds_to_micros(
-                                    rng.uniform(0.0, 14'400.0)));
-  }
-
-  const auto pool = detectors::make_paper_pair();
-  Outcome outcome;
-  httplog::LogRecord record;
-  // Keep the site alive for the generator's lifetime.
-  while (generator.next(record)) {
-    const bool s = pool[0]->evaluate(record).alert;
-    const bool a = pool[1]->evaluate(record).alert;
-    outcome.sentinel.observe(record.truth, s);
-    outcome.arcane.observe(record.truth, a);
-    outcome.union_1oo2.observe(record.truth, s || a);
-  }
-  return outcome;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("# E13: adversarial evasion ladder (fleet-only stream)\n\n");
-  const std::vector<EvasionLevel> ladder = {
-      {"baseline fleet", 0.0, false, false, 0.5},
-      {"+ asset mimicry", 0.9, false, false, 0.5},
-      {"+ ua rotation", 0.9, true, false, 0.5},
-      {"+ ip rotation", 0.9, true, true, 0.5},
-      {"+ slow down (4s gaps)", 0.9, true, true, 4.0},
+  const std::vector<std::pair<std::string, std::string>> ladder = {
+      {"evasion_ladder_e0", "baseline fleet"},
+      {"evasion_ladder_e1", "+ asset mimicry"},
+      {"evasion_ladder_e2", "+ ua rotation"},
+      {"evasion_ladder_e3", "+ ip rotation"},
+      {"evasion_ladder_e4", "+ human think time"},
   };
 
   std::printf("  %-24s %10s %10s %10s\n", "evasion level", "sentinel",
               "arcane", "1oo2");
-  for (const auto& level : ladder) {
-    const auto outcome = run_level(level);
-    std::printf("  %-24s %9.1f%% %9.1f%% %9.1f%%\n", level.name.c_str(),
-                100.0 * outcome.sentinel.sensitivity(),
-                100.0 * outcome.arcane.sensitivity(),
-                100.0 * outcome.union_1oo2.sensitivity());
+  for (const auto& [entry, label] : ladder) {
+    const auto spec = workload::catalog_entry(entry, scale);
+    if (!spec) {
+      std::fprintf(stderr, "unknown catalog entry %s\n", entry.c_str());
+      return 1;
+    }
+    const auto score = eval::score_scenario(*spec);
+    const auto* sentinel = score.column("sentinel");
+    const auto* arcane = score.column("arcane");
+    const auto* ensemble = score.column("ensemble_1oo2");
+    if (!sentinel || !arcane || !ensemble) {
+      std::fprintf(stderr, "missing scored column for %s\n", entry.c_str());
+      return 1;
+    }
+    std::printf("  %-24s %9.1f%% %9.1f%% %9.1f%%\n", label.c_str(),
+                100.0 * sentinel->recall(), 100.0 * arcane->recall(),
+                100.0 * ensemble->recall());
   }
 
   std::printf(
@@ -113,8 +60,8 @@ int main() {
       "behavioural tool's starvation signal but rate/reputation still\n"
       "hold; ip rotation kills reputation and subnet escalation but the\n"
       "behavioural window re-catches each new identity after its warm-up;\n"
-      "only the full stack plus pacing erodes both — and the ensemble\n"
-      "degrades most slowly, the paper's diversity argument made\n"
+      "only the full stack plus human pacing erodes both — and the\n"
+      "ensemble degrades most slowly, the paper's diversity argument made\n"
       "operational.\n");
   return 0;
 }

@@ -1,0 +1,38 @@
+#include "eval/run.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/joiner.hpp"
+#include "detectors/registry.hpp"
+#include "pipeline/record_batch.hpp"
+#include "workload/engine.hpp"
+
+namespace divscrape::eval {
+
+ScenarioScore score_scenario(const workload::ScenarioSpec& spec,
+                             const RunOptions& options) {
+  const auto pool = detectors::make_paper_pair();
+  for (const auto& detector : pool) detector->reset();
+  std::vector<std::string> names;
+  names.reserve(pool.size());
+  for (const auto& detector : pool) names.emplace_back(detector->name());
+
+  core::AlertJoiner joiner(pool);
+  Scorer scorer(std::move(names));
+
+  workload::EngineConfig config;
+  config.gen_threads = options.gen_threads;
+  workload::WorkloadEngine engine(spec, config);
+  pipeline::BatchPool batch_pool;
+  (void)engine.run_batched(
+      [&](pipeline::RecordBatch&& batch) {
+        for (const auto& record : batch)
+          scorer.observe(record, joiner.process(record));
+        batch_pool.recycle(std::move(batch));
+      },
+      options.batch_records, &batch_pool);
+  return scorer.finish(spec.name, spec.scale);
+}
+
+}  // namespace divscrape::eval

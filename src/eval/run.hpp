@@ -1,0 +1,27 @@
+// The red-vs-blue runner: generates a declarative scenario through the
+// batched workload seam, drives the paper detector pair over the stream,
+// and scores the outcome with eval::Scorer. Shared by bench_detection,
+// the revived seed benches and `divscrape_cli score`, so every consumer
+// measures detection quality the same way.
+#pragma once
+
+#include <cstddef>
+
+#include "eval/scorer.hpp"
+#include "workload/scenario_spec.hpp"
+
+namespace divscrape::eval {
+
+struct RunOptions {
+  std::size_t gen_threads = 2;
+  std::size_t batch_records = 1024;
+};
+
+/// Runs `spec` end to end — WorkloadEngine::run_batched() feeding a fresh
+/// paper detector pair through an AlertJoiner — and returns the scored
+/// outcome. The generated stream is byte-identical at any gen_threads
+/// (the engine's contract), so the score is too.
+[[nodiscard]] ScenarioScore score_scenario(const workload::ScenarioSpec& spec,
+                                           const RunOptions& options = {});
+
+}  // namespace divscrape::eval

@@ -223,6 +223,115 @@ ScenarioSpec make_megasite() {
   return spec;
 }
 
+// --- red tier: evasion campaigns (experiment E13) ------------------------
+//
+// Each red entry is a blue-team scenario with the adversary upgraded: the
+// same archetypes, volumes and ramp shapes, plus an `evasion` block that
+// buys specific E13 capabilities. bench_detection runs every one of these
+// through the batched replay seam and scores the outcome per detector and
+// for the 1oo2 ensemble (BENCH_detection.json).
+
+/// A fleet that re-identifies every session: fresh browser UA and fresh
+/// clean address per session, plus asset mimicry — the "rotating
+/// residential proxy" product shape. Defeats per-(ip,ua) state carried
+/// across sessions; in-session behaviour is unchanged.
+ScenarioSpec make_rotating_fleet() {
+  ScenarioSpec spec;
+  spec.name = "rotating_fleet";
+  spec.duration_days = 2.0;
+  VhostSpec www;
+  www.humans.arrivals_per_s = 0.04;
+  auto wave = fleet(2, 160, 5);
+  wave.session_len_mean = 160.0;
+  wave.pause_mean_s = 7'200.0;
+  EvasionSpec evasion;
+  evasion.p_asset_mimicry = 0.9;
+  evasion.rotate_ua_per_session = true;
+  evasion.rotate_ip_per_session = true;
+  wave.evasion = evasion;
+  www.attacks = {wave, caching(2)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// Stealth bots doing their best human impression: log-normal think-time
+/// pacing at the human median, near-certain asset fetches, a fresh browser
+/// UA each session. The per-bot request stream is nearly indistinguishable
+/// from a shopper; only aggregate shape (sweep coverage, session count)
+/// remains.
+ScenarioSpec make_human_mimic() {
+  ScenarioSpec spec;
+  spec.name = "human_mimic";
+  spec.duration_days = 3.0;
+  VhostSpec www;
+  www.humans.arrivals_per_s = 0.03;
+  auto wave = stealth(80);
+  wave.ramp_days = 1.0;
+  wave.lifetime_requests = 2'400;
+  EvasionSpec evasion;
+  evasion.p_asset_mimicry = 0.85;
+  evasion.rotate_ua_per_session = true;
+  evasion.human_think_time = true;
+  wave.evasion = evasion;
+  www.attacks = {wave, malformed(1)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// low_and_slow upgraded with distribution across the public /8s: every
+/// session moves to a fresh clean address (the clean pool is uniform over
+/// public /8 space), so no subnet ever accumulates enough history to
+/// escalate. The hardest shape in the paper's discussion, now with the
+/// counter-measure it predicted.
+ScenarioSpec make_distributed_low_and_slow() {
+  ScenarioSpec spec;
+  spec.name = "distributed_low_and_slow";
+  spec.duration_days = 7.0;
+  VhostSpec www;
+  auto wave = stealth(320);
+  wave.ramp_days = 2.0;
+  wave.pause_mean_s = 10'800.0;
+  wave.lifetime_requests = 1'200;
+  EvasionSpec evasion;
+  evasion.p_asset_mimicry = 0.7;
+  evasion.rotate_ip_per_session = true;
+  wave.evasion = evasion;
+  www.attacks = {wave, malformed(1)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
+/// The E13 ladder: one fixed fleet campaign, evasion capabilities added
+/// one per tier. e0 is the unevaded baseline (the CI-gated floor);
+/// each following tier keeps everything below it.
+///
+///   e0  baseline fleet, no evasion block
+///   e1  + asset mimicry 0.9
+///   e2  + per-session UA rotation
+///   e3  + per-session IP rotation
+///   e4  + human think-time pacing
+ScenarioSpec make_evasion_ladder(int level) {
+  ScenarioSpec spec;
+  spec.name = "evasion_ladder_e" + std::to_string(level);
+  spec.duration_days = 1.0;
+  VhostSpec www;
+  www.humans.arrivals_per_s = 0.03;
+  auto wave = fleet(2, 120, 4);
+  wave.session_len_mean = 200.0;
+  wave.pause_mean_s = 5'400.0;
+  if (level >= 1) {
+    EvasionSpec evasion;
+    evasion.p_asset_mimicry = 0.9;
+    evasion.rotate_ua_per_session = level >= 2;
+    evasion.rotate_ip_per_session = level >= 3;
+    evasion.human_think_time = level >= 4;
+    wave.evasion = evasion;
+  }
+  www.attacks = {wave, caching(2)};
+  spec.vhosts.push_back(std::move(www));
+  return spec;
+}
+
 /// A one-hour miniature with every population represented — mirrors
 /// traffic::smoke_test() so unit tests and CI smokes finish in
 /// milliseconds yet still produce alerts from both detectors.
@@ -258,6 +367,18 @@ const std::vector<CatalogEntry>& catalog() {
       {"megasite",
        "four-vhost production day, >1M distinct actors (chaos-soak scale)"},
       {"smoke", "one-hour miniature of every population, for CI and tests"},
+      {"rotating_fleet",
+       "red: fleet behind rotating UA/IP identities + asset mimicry"},
+      {"human_mimic",
+       "red: stealth bots pacing and fetching like human shoppers"},
+      {"distributed_low_and_slow",
+       "red: patient stealth campaign hopping across the public /8s"},
+      {"evasion_ladder_e0",
+       "red ladder tier 0: unevaded baseline fleet (the CI-gated floor)"},
+      {"evasion_ladder_e1", "red ladder tier 1: + asset mimicry"},
+      {"evasion_ladder_e2", "red ladder tier 2: + per-session UA rotation"},
+      {"evasion_ladder_e3", "red ladder tier 3: + per-session IP rotation"},
+      {"evasion_ladder_e4", "red ladder tier 4: + human think-time pacing"},
   };
   return entries;
 }
@@ -272,6 +393,13 @@ std::optional<ScenarioSpec> catalog_entry(std::string_view name,
   if (name == "mixed_multi_vhost") spec = make_mixed_multi_vhost();
   if (name == "megasite") spec = make_megasite();
   if (name == "smoke") spec = make_smoke();
+  if (name == "rotating_fleet") spec = make_rotating_fleet();
+  if (name == "human_mimic") spec = make_human_mimic();
+  if (name == "distributed_low_and_slow") spec = make_distributed_low_and_slow();
+  if (name.rfind("evasion_ladder_e", 0) == 0 && name.size() == 17 &&
+      name[16] >= '0' && name[16] <= '4') {
+    spec = make_evasion_ladder(name[16] - '0');
+  }
   if (spec) spec->scale = scale;
   return spec;
 }

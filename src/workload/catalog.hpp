@@ -39,6 +39,20 @@ struct CatalogEntry {
 ///                      portal) with distinct sites and attack mixes
 ///   smoke              a one-hour miniature with every population, for
 ///                      CI smokes and unit tests
+///
+/// Red tier (evasion campaigns, scored by bench_detection):
+///
+///   rotating_fleet     fleet behind per-session UA/IP rotation + asset
+///                      mimicry (rotating residential proxy shape)
+///   human_mimic        stealth bots with human think-time pacing, asset
+///                      fetches and fresh UAs — per-bot streams nearly
+///                      indistinguishable from shoppers
+///   distributed_low_and_slow
+///                      the patient stealth campaign hopping across the
+///                      public /8s every session
+///   evasion_ladder_e0..e4
+///                      one fleet campaign, E13 capabilities stacked one
+///                      per tier (e0 = unevaded CI-gated baseline)
 [[nodiscard]] std::optional<ScenarioSpec> catalog_entry(std::string_view name,
                                                         double scale = 1.0);
 

@@ -84,6 +84,28 @@ void apply_overrides(traffic::BotProfile& profile, const AttackSpec& attack) {
     profile.lifetime_requests = attack.lifetime_requests;
 }
 
+/// Applies an attack wave's E13 evasion capabilities onto an archetype
+/// profile. Pure field assignment — no RNG draws — so the
+/// build_group_member draw order (the byte-identity contract) is
+/// untouched; ordinal assignment and first-session times cannot shift.
+void apply_evasion(traffic::BotProfile& profile, const AttackSpec& attack) {
+  if (!attack.evasion) return;
+  const auto& evasion = *attack.evasion;
+  profile.p_asset_mimicry = evasion.p_asset_mimicry;
+  // A bot that fetches assets like a browser also carries a Referer like
+  // one; mimicry below that bar would be self-defeating camouflage.
+  if (evasion.p_asset_mimicry > 0.0)
+    profile.referer_p = std::max(profile.referer_p, 0.6);
+  profile.rotate_ua_per_session = evasion.rotate_ua_per_session;
+  profile.rotate_ip_per_session = evasion.rotate_ip_per_session;
+  if (evasion.human_think_time) {
+    const traffic::HumanConfig human;
+    profile.lognormal_gap = true;
+    profile.gap_median_s = human.think_median_s;
+    profile.gap_sigma = human.think_sigma;
+  }
+}
+
 int campaigns_of(const AttackSpec& attack) noexcept {
   if (attack.kind == AttackKind::kFleet) return attack.campaigns;
   if (attack.kind == AttackKind::kApiPollers) return 1;
@@ -260,6 +282,7 @@ BuiltActor build_group_member(const ScenarioSpec& spec,
         profile.user_agent = std::string(traffic::sample_headless_ua(rng));
       }
       apply_overrides(profile, attack);
+      apply_evasion(profile, attack);
       profile.lifetime_requests = attack.lifetime_requests;
       const double pause = profile.pause_mean_s;
       auto actor = std::make_unique<traffic::ScraperBot>(
@@ -288,6 +311,7 @@ BuiltActor build_group_member(const ScenarioSpec& spec,
       profile.ip = traffic::sample_clean_ip(rng);
       profile.user_agent = std::string(traffic::sample_browser_ua(rng));
       apply_overrides(profile, attack);
+      apply_evasion(profile, attack);
       const double pause = profile.pause_mean_s;
       auto actor = std::make_unique<traffic::ScraperBot>(
           site, std::move(profile), end, rng, id);

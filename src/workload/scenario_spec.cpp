@@ -66,6 +66,16 @@ void write_attack(core::JsonWriter& json, const AttackSpec& attack) {
   json.key("session_len_mean").value_exact(attack.session_len_mean);
   json.key("pause_mean_s").value_exact(attack.pause_mean_s);
   json.key("lifetime_requests").value(attack.lifetime_requests);
+  // Emitted only when present: pre-evasion specs keep their exact bytes.
+  if (attack.evasion) {
+    const auto& evasion = *attack.evasion;
+    json.key("evasion").begin_object();
+    json.key("p_asset_mimicry").value_exact(evasion.p_asset_mimicry);
+    json.key("rotate_ua_per_session").value(evasion.rotate_ua_per_session);
+    json.key("rotate_ip_per_session").value(evasion.rotate_ip_per_session);
+    json.key("human_think_time").value(evasion.human_think_time);
+    json.end_object();
+  }
   json.end_object();
 }
 
@@ -143,6 +153,29 @@ bool read_attack(const core::JsonValue& v, AttackSpec& attack,
     return set_error(error, "attack ramp_days must be >= 0");
   if (attack.kind == AttackKind::kFleet && attack.campaigns < 1)
     return set_error(error, "fleet attacks need campaigns >= 1");
+  if (const auto* evasion = v.find("evasion")) {
+    if (!evasion->is_object())
+      return set_error(error, "attack \"evasion\" must be an object");
+    if (attack.kind != AttackKind::kFleet &&
+        attack.kind != AttackKind::kStealth) {
+      return set_error(error,
+                       "evasion requires a page-scraper attack kind "
+                       "(fleet or stealth), not \"" +
+                           std::string(to_string(attack.kind)) + "\"");
+    }
+    EvasionSpec parsed;
+    parsed.p_asset_mimicry =
+        evasion->number_or("p_asset_mimicry", parsed.p_asset_mimicry);
+    parsed.rotate_ua_per_session = evasion->bool_or(
+        "rotate_ua_per_session", parsed.rotate_ua_per_session);
+    parsed.rotate_ip_per_session = evasion->bool_or(
+        "rotate_ip_per_session", parsed.rotate_ip_per_session);
+    parsed.human_think_time =
+        evasion->bool_or("human_think_time", parsed.human_think_time);
+    if (!(parsed.p_asset_mimicry >= 0.0 && parsed.p_asset_mimicry <= 1.0))
+      return set_error(error, "evasion.p_asset_mimicry must be in [0, 1]");
+    attack.evasion = parsed;
+  }
   return true;
 }
 

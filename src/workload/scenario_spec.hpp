@@ -10,7 +10,10 @@
 // ## JSON schema (divscrape.scenario.v1)
 //
 // One flat object; all fields optional unless marked required, defaults as
-// in the structs below. `to_json()` always emits every field.
+// in the structs below. `to_json()` always emits every field, with one
+// deliberate exception: the optional `evasion` block is emitted only when
+// present, so specs that predate it serialize byte-identically to before
+// the schema grew it.
 //
 //   {
 //     "schema": "divscrape.scenario.v1",      // required, exact match
@@ -68,7 +71,24 @@
 //             "gap_mean_s": 0.0,               // archetype overrides;
 //             "session_len_mean": 0.0,         // 0 = keep the archetype
 //             "pause_mean_s": 0.0,             // default
-//             "lifetime_requests": 0
+//             "lifetime_requests": 0,
+//             "evasion": {                     // optional E13 capability
+//                                              // block; page-scraper kinds
+//                                              // only (fleet | stealth),
+//                                              // and only the fleet's fast
+//                                              // members evade — slow
+//                                              // members stay archetypal
+//               "p_asset_mimicry": 0.9,        // [0, 1]: page fetches
+//                                              // followed by a static-asset
+//                                              // camouflage fetch
+//               "rotate_ua_per_session": true, // fresh browser UA each
+//                                              // session
+//               "rotate_ip_per_session": true, // fresh clean address each
+//                                              // session
+//               "human_think_time": false      // pace in-session gaps like
+//                                              // the human log-normal
+//                                              // think-time distribution
+//             }
 //           }
 //         ]
 //       }
@@ -143,6 +163,33 @@ enum class AttackKind : std::uint8_t {
 [[nodiscard]] std::optional<AttackKind> attack_kind_from(
     std::string_view name) noexcept;
 
+/// E13 evasion capabilities of one attack wave. Only the page-scraper
+/// kinds (fleet, stealth) accept an evasion block — asset mimicry and
+/// think-time shaping are page-fetch behaviours — and within a fleet only
+/// the fast members evade (slow members are sub-threshold by design).
+/// Plumbing is pure field assignment onto the archetype BotProfile: no
+/// extra RNG draws, so the engine's byte-identity contract is untouched.
+struct EvasionSpec {
+  /// Probability that a page fetch is followed by a static-asset
+  /// camouflage fetch (defeats asset-starvation signals). In [0, 1].
+  double p_asset_mimicry = 0.0;
+  bool rotate_ua_per_session = false;  ///< fresh browser UA each session
+  bool rotate_ip_per_session = false;  ///< fresh clean address each session
+  /// Pace in-session gaps like the human log-normal think-time
+  /// distribution instead of the archetype's timing.
+  bool human_think_time = false;
+
+  friend bool operator==(const EvasionSpec& a, const EvasionSpec& b) noexcept {
+    return a.p_asset_mimicry == b.p_asset_mimicry &&
+           a.rotate_ua_per_session == b.rotate_ua_per_session &&
+           a.rotate_ip_per_session == b.rotate_ip_per_session &&
+           a.human_think_time == b.human_think_time;
+  }
+  friend bool operator!=(const EvasionSpec& a, const EvasionSpec& b) noexcept {
+    return !(a == b);
+  }
+};
+
 /// One attack wave in a vhost's mix. Population counts are at scale 1.0;
 /// the spec-level `scale` multiplies them (minimum 1 once nonzero).
 struct AttackSpec {
@@ -159,6 +206,8 @@ struct AttackSpec {
   double session_len_mean = 0.0;
   double pause_mean_s = 0.0;
   std::uint64_t lifetime_requests = 0;
+  /// E13 capabilities; absent = no evasion (and no bytes in the JSON).
+  std::optional<EvasionSpec> evasion;
 
   friend bool operator==(const AttackSpec& a, const AttackSpec& b) noexcept {
     return a.kind == b.kind && a.campaigns == b.campaigns && a.bots == b.bots &&
@@ -166,7 +215,8 @@ struct AttackSpec {
            a.ramp_days == b.ramp_days && a.gap_mean_s == b.gap_mean_s &&
            a.session_len_mean == b.session_len_mean &&
            a.pause_mean_s == b.pause_mean_s &&
-           a.lifetime_requests == b.lifetime_requests;
+           a.lifetime_requests == b.lifetime_requests &&
+           a.evasion == b.evasion;
   }
   friend bool operator!=(const AttackSpec& a, const AttackSpec& b) noexcept {
     return !(a == b);

@@ -68,6 +68,43 @@ TEST(WorkloadEngine, ByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(WorkloadEngine, EvasionScenariosStayByteIdentical) {
+  // The red tier must honor the same determinism contract as everything
+  // else: apply_evasion is pure profile assignment, so the actor ordinals
+  // and RNG draw order — and therefore the bytes — cannot move with the
+  // thread count or the materialization strategy.
+  auto spec = smoke_spec();  // trimmed duration; assert the entry resolves
+  {
+    const auto ladder = workload::catalog_entry("evasion_ladder_e3", 0.5);
+    ASSERT_TRUE(ladder.has_value());
+    spec = *ladder;
+    spec.duration_days = 0.1;  // determinism pin, not a metrics run
+  }
+  const auto t1 = run_capture(spec, 1);
+  const auto t2 = run_capture(spec, 2);
+  const auto t4 = run_capture(spec, 4);
+  ASSERT_GT(t1.records.size(), 500u);
+  EXPECT_EQ(t1.clf, t2.clf);
+  EXPECT_EQ(t1.clf, t4.clf);
+  const auto lazy = run_capture(spec, 4, 8, /*lazy=*/true);
+  EXPECT_EQ(t1.clf, lazy.clf);
+
+  // And the knobs must actually bite: e3 rotates source IPs per session,
+  // so some malicious actor shows up from several addresses — which a
+  // no-evasion run of the same ladder never does for its fast fleet.
+  std::map<std::uint32_t, std::set<std::uint32_t>> ips_by_actor;
+  for (const auto& record : t1.records) {
+    if (record.truth == httplog::Truth::kMalicious) {
+      ips_by_actor[record.actor_id].insert(record.ip.value());
+    }
+  }
+  std::size_t rotated = 0;
+  for (const auto& [actor, ips] : ips_by_actor) {
+    if (ips.size() > 1) ++rotated;
+  }
+  EXPECT_GT(rotated, 0u) << "rotate_ip_per_session had no visible effect";
+}
+
 TEST(WorkloadEngine, RepeatedRunsAreIdentical) {
   const auto spec = smoke_spec();
   EXPECT_EQ(run_capture(spec, 2).clf, run_capture(spec, 2).clf);

@@ -183,6 +183,92 @@ TEST(ScenarioSpec, RejectsInvalidSpecsWithDiagnostics) {
   EXPECT_NE(kind_error.find("ddos"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Evasion block (red tier)
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, EvasionBlockRoundTripsLosslessly) {
+  const char* json = R"({
+    "schema": "divscrape.scenario.v1",
+    "name": "red",
+    "duration_days": 0.5,
+    "vhosts": [
+      {"attacks": [{"kind": "fleet", "bots": 4,
+                    "evasion": {"p_asset_mimicry": 0.85,
+                                "rotate_ua_per_session": true,
+                                "rotate_ip_per_session": false,
+                                "human_think_time": true}}]}
+    ]
+  })";
+  std::string error;
+  const auto spec = workload::ScenarioSpec::from_json(json, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const auto& attack = spec->vhosts[0].attacks[0];
+  ASSERT_TRUE(attack.evasion.has_value());
+  EXPECT_DOUBLE_EQ(attack.evasion->p_asset_mimicry, 0.85);
+  EXPECT_TRUE(attack.evasion->rotate_ua_per_session);
+  EXPECT_FALSE(attack.evasion->rotate_ip_per_session);
+  EXPECT_TRUE(attack.evasion->human_think_time);
+
+  const auto reloaded =
+      workload::ScenarioSpec::from_json(spec->to_json(), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  EXPECT_TRUE(*reloaded == *spec);
+}
+
+TEST(ScenarioSpec, SpecWithoutEvasionEmitsNoEvasionKey) {
+  // The conditional emission IS the byte-identity guarantee for the
+  // pre-evasion catalog: absent block, absent key, identical bytes.
+  const auto spec = workload::catalog_entry("flash_crowd");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->to_json().find("evasion"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RedTierEntriesCarryExpectedEvasion) {
+  const auto rotating = workload::catalog_entry("rotating_fleet");
+  ASSERT_TRUE(rotating.has_value());
+  ASSERT_TRUE(rotating->vhosts[0].attacks[0].evasion.has_value());
+  EXPECT_TRUE(rotating->vhosts[0].attacks[0].evasion->rotate_ip_per_session);
+
+  // Ladder level 0 is the unevaded control: no block at all.
+  const auto e0 = workload::catalog_entry("evasion_ladder_e0");
+  ASSERT_TRUE(e0.has_value());
+  EXPECT_FALSE(e0->vhosts[0].attacks[0].evasion.has_value());
+  const auto e4 = workload::catalog_entry("evasion_ladder_e4");
+  ASSERT_TRUE(e4.has_value());
+  ASSERT_TRUE(e4->vhosts[0].attacks[0].evasion.has_value());
+  EXPECT_TRUE(e4->vhosts[0].attacks[0].evasion->human_think_time);
+  EXPECT_FALSE(workload::catalog_entry("evasion_ladder_e5").has_value());
+  EXPECT_FALSE(workload::catalog_entry("evasion_ladder_e").has_value());
+}
+
+TEST(ScenarioSpec, RejectsInvalidEvasionWithDiagnostics) {
+  const auto fails = [](const std::string& json) {
+    std::string error;
+    const auto spec = workload::ScenarioSpec::from_json(json, &error);
+    EXPECT_FALSE(spec.has_value()) << json;
+    EXPECT_FALSE(error.empty()) << json;
+    return error;
+  };
+  const auto with_attack = [](const char* attack) {
+    return std::string(R"({"schema": "divscrape.scenario.v1", "vhosts": [)") +
+           R"({"attacks": [)" + attack + "]}]}";
+  };
+  const auto range_error = fails(
+      with_attack(R"({"kind": "fleet", "evasion": {"p_asset_mimicry": 1.5}})"));
+  EXPECT_NE(range_error.find("p_asset_mimicry"), std::string::npos);
+  fails(with_attack(
+      R"({"kind": "fleet", "evasion": {"p_asset_mimicry": -0.1}})"));
+  // Evasion models page-scraper camouflage; the other attack kinds have no
+  // asset/think-time behaviour to mimic and must be rejected loudly.
+  const auto kind_error = fails(with_attack(
+      R"({"kind": "api_pollers", "evasion": {"p_asset_mimicry": 0.5}})"));
+  EXPECT_NE(kind_error.find("page-scraper"), std::string::npos);
+  EXPECT_NE(kind_error.find("api_pollers"), std::string::npos);
+  fails(with_attack(R"({"kind": "caching", "evasion": {}})"));
+  fails(with_attack(R"({"kind": "fleet", "evasion": 7})"));
+}
+
 TEST(ScenarioSpec, AttackKindNamesRoundTrip) {
   using workload::AttackKind;
   for (const auto kind :

@@ -10,6 +10,10 @@
 //   divscrape label     <log>    heuristically label a CLF file (paper §V)
 //   divscrape soak      [scenario]  chaos soak: closed generate->tail loop
 //                                under scripted faults (default: megasite)
+//   divscrape score     <scenario|spec.json>  run a workload through the
+//                                detector pair and score detection quality
+//                                (precision/recall/AUC/time-to-detect per
+//                                detector and for the 1oo2 ensemble)
 //
 // Common options:
 //   --config <file>     key=value config (see core/config.hpp header)
@@ -68,6 +72,12 @@
 //   --results <file>      periodically flush JointResults JSON (atomic
 //                         rename; sharded mode writes it once at exit)
 //   --flush-every <n>     flush results/checkpoint every n parsed records
+//
+// Score options:
+//   --json <file>       also write the single-scenario DetectionDocument
+//                       (schema divscrape.bench_detection.v1)
+//   --gen-threads <n>   generator worker threads (the score is identical
+//                       for any value — the determinism contract)
 #include <sys/stat.h>
 
 #include <cerrno>
@@ -93,6 +103,8 @@
 #include "core/timeseries.hpp"
 #include "detectors/arcane.hpp"
 #include "detectors/sentinel.hpp"
+#include "eval/run.hpp"
+#include "eval/scorer.hpp"
 #include "httplog/io.hpp"
 #include "pipeline/alert_log.hpp"
 #include "pipeline/chaos.hpp"
@@ -125,6 +137,7 @@ struct CliOptions {
   std::string out_path;
   std::string out_multi_dir;
   std::string bench_path;
+  std::string json_path;
   bool follow = false;
   bool detect = false;
   bool list = false;
@@ -147,7 +160,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: divscrape "
-      "<generate|simulate|analyze|tail|tables|export|label|soak> [options]\n"
+      "<generate|simulate|analyze|tail|tables|export|label|soak|score> "
+      "[options]\n"
+      "  score    <scenario|spec.json> [--json <file>] [--gen-threads <n>]\n"
       "  simulate <scenario|spec.json> [--list] [--dump-spec]\n"
       "           [--gen-threads <n>] [--partitions <n>] [--lazy]\n"
       "           [--out <file>] [--out-multi <dir>] [--detect] "
@@ -265,6 +280,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* path = next();
       if (!path) return false;
       opts.bench_path = path;
+    } else if (arg == "--json") {
+      const char* path = next();
+      if (!path) return false;
+      opts.json_path = path;
     } else if (arg == "--lazy") {
       opts.lazy = true;
     } else if (arg == "--smoke") {
@@ -355,13 +374,14 @@ volatile std::sig_atomic_t g_tail_interrupted = 0;
 
 void tail_sigint(int) { g_tail_interrupted = 1; }
 
-/// Resolves the simulate positional: a catalog name first, then a spec
-/// file. The catalog wins on a name collision (rename the file).
+/// Resolves the simulate/soak/score positional: a catalog name first, then
+/// a spec file. The catalog wins on a name collision (rename the file).
 std::optional<workload::ScenarioSpec> resolve_spec(const CliOptions& opts) {
   const bool scale_set = opts.config.get("scenario.scale").has_value();
   const double scale = opts.config.get_double("scenario.scale", 1.0);
   if (scale_set && scale <= 0.0) {
-    std::fprintf(stderr, "simulate: --scale must be > 0 (got %g)\n", scale);
+    std::fprintf(stderr, "%s: --scale must be > 0 (got %g)\n",
+                 opts.command.c_str(), scale);
     return std::nullopt;
   }
   if (auto spec = workload::catalog_entry(opts.input, scale)) return spec;
@@ -369,9 +389,9 @@ std::optional<workload::ScenarioSpec> resolve_spec(const CliOptions& opts) {
   auto spec = workload::ScenarioSpec::load(opts.input, &error);
   if (!spec) {
     std::fprintf(stderr,
-                 "simulate: \"%s\" is not a catalog scenario, and loading "
+                 "%s: \"%s\" is not a catalog scenario, and loading "
                  "it as a spec file failed: %s\n",
-                 opts.input.c_str(), error.c_str());
+                 opts.command.c_str(), opts.input.c_str(), error.c_str());
     return std::nullopt;
   }
   if (scale_set) spec->scale = scale;  // --scale overrides the file
@@ -1029,6 +1049,60 @@ int cmd_soak(CliOptions opts) {
   return report.passed ? 0 : 1;
 }
 
+/// Detection-quality scoring: the bench_detection engine behind a CLI seam,
+/// for scoring one scenario (catalog entry or spec file) interactively —
+/// e.g. a freshly authored evasion spec, before promoting it to the
+/// catalog. Same scorer, same document schema, same determinism contract.
+int cmd_score(const CliOptions& opts) {
+  if (opts.input.empty()) {
+    std::fprintf(stderr,
+                 "score: missing <scenario|spec.json> "
+                 "(try: simulate --list)\n");
+    return 2;
+  }
+  auto spec = resolve_spec(opts);
+  if (!spec) return 1;
+
+  eval::RunOptions run_options;
+  run_options.gen_threads = opts.gen_threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto score = eval::score_scenario(*spec, run_options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%s (scale %.3f): %s records scored (%s benign, %s "
+              "malicious), %llu attacking actors, %.2fs\n",
+              score.scenario.c_str(), score.scale,
+              core::with_thousands(score.records).c_str(),
+              core::with_thousands(score.truth_benign).c_str(),
+              core::with_thousands(score.truth_malicious).c_str(),
+              static_cast<unsigned long long>(score.actors_attacking), wall);
+  std::printf("  %-14s %9s %9s %9s %9s %12s %10s\n", "column", "prec",
+              "recall", "f1", "auc", "actors", "ttd_p50");
+  for (const auto& column : score.columns) {
+    std::printf(
+        "  %-14s %8.1f%% %8.1f%% %8.1f%% %9.4f %6llu/%-5llu %9.0fs\n",
+        column.name.c_str(), 100.0 * column.precision(),
+        100.0 * column.recall(), 100.0 * column.f1(), column.auc,
+        static_cast<unsigned long long>(column.actors_detected),
+        static_cast<unsigned long long>(score.actors_attacking),
+        column.ttd_p50_s);
+  }
+
+  if (!opts.json_path.empty()) {
+    eval::DetectionDocument document;
+    document.scenarios.push_back(score);
+    if (!document.save(opts.json_path)) {
+      std::fprintf(stderr, "score: cannot write %s\n",
+                   opts.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opts.json_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_tables(const CliOptions& opts) {
   core::ExperimentConfig config;
   config.scenario = scenario_from(opts.config);
@@ -1143,5 +1217,6 @@ int main(int argc, char** argv) {
   if (opts.command == "export") return cmd_export(opts);
   if (opts.command == "label") return cmd_label(opts);
   if (opts.command == "soak") return cmd_soak(opts);
+  if (opts.command == "score") return cmd_score(opts);
   return usage();
 }
